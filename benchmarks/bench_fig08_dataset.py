@@ -1,0 +1,57 @@
+"""Figure 8 + Table 1: the seed-spreader generator.
+
+Prints the provenance statistics of the Figure 8 visualisation dataset and
+benchmarks generation throughput at the default benchmark cardinality
+(the generator must be O(n) or it would dominate every other experiment).
+"""
+
+import numpy as np
+
+from repro.data import figure8_dataset, seed_spreader
+from repro.evaluation import format_table
+
+from . import config as cfg
+
+
+def test_fig08_dataset(report, benchmark):
+    ds = figure8_dataset()
+    report("Figure 8 — 2D seed-spreader dataset (n=1000)")
+    rows = [
+        ["points", str(ds.n)],
+        ["dimension", str(ds.dim)],
+        ["restarts (clusters)", str(ds.n_restarts)],
+        ["noise points", str(ds.n_noise)],
+    ]
+    for r in range(ds.n_restarts):
+        members = ds.points[ds.restart_ids == r]
+        span = members.max(axis=0) - members.min(axis=0)
+        rows.append([
+            f"restart {r}",
+            f"{len(members)} pts, extent {span[0]:.0f} x {span[1]:.0f}",
+        ])
+    report(format_table(["property", "value"], rows))
+
+    benchmark(lambda: seed_spreader(cfg.DEFAULT_N, 3, seed=1))
+
+
+def test_table1_parameter_grid(report, benchmark):
+    """Print the scaled Table 1 actually used by this harness."""
+
+    def run():
+        report("Table 1 — parameter grid (scaled for pure Python; REPRO_SCALE to grow)")
+        report(format_table(
+            ["parameter", "paper", "this harness"],
+            [
+                ["n (synthetic)", "100k..10m (default 2m)",
+                 f"{cfg.FIG11_N_SWEEP} (default {cfg.DEFAULT_N})"],
+                ["d (synthetic)", "3, 5, 7", str(cfg.DIMENSIONS)],
+                ["eps", "5000..collapsing radius", f"{cfg.DEFAULT_EPS:g}..sweep"],
+                ["rho", "0.001..0.1 (default 0.001)",
+                 f"{cfg.RHO_GRID} (default {cfg.DEFAULT_RHO})"],
+                ["MinPts", "100", str(cfg.MINPTS)],
+            ],
+        ))
+        return np.array(cfg.FIG11_N_SWEEP)
+
+    sizes = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert (sizes[1:] > sizes[:-1]).all()

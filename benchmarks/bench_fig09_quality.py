@@ -1,0 +1,91 @@
+"""Figure 9: exact vs rho-approximate clusters on the 2D dataset.
+
+Reproduces the 3x4 grid of Figure 9: for three radii (stable / merged /
+deliberately unstable) and rho in {0.001, 0.01, 0.1}, report the number of
+clusters each method finds and whether the approximate clusters equal the
+exact ones.  The paper's finding: identical everywhere except possibly at
+the unstable radius with large rho.
+
+Also prints the boundary sweep of the Section 5.2 narrative (the paper's
+12200-vs-12203 observation): the exact cluster count just below and just
+above the located merge boundary.
+"""
+
+import numpy as np
+import pytest
+
+from repro import approx_dbscan, dbscan
+from repro.config import FIG9_MINPTS, FIG9_RHO_VALUES
+from repro.data import figure8_dataset
+from repro.evaluation import best_match_jaccard, format_table
+
+
+@pytest.fixture(scope="module")
+def fig9_setup():
+    ds = figure8_dataset()
+    points = ds.points
+    min_pts = FIG9_MINPTS
+
+    # Locate the radii the way the paper picked 5000/11300/12200 for its
+    # instance: a stable radius, a post-merge radius, and a radius just
+    # below the next merge boundary.
+    def k(eps):
+        return dbscan(points, eps, min_pts).n_clusters
+
+    sweep = np.linspace(2000.0, 40000.0, 20)
+    counts = [(float(e), k(float(e))) for e in sweep]
+    k0 = counts[0][1]
+    stable = counts[0][0] * 2.0
+    merged = next((e for e, c in counts if c < k0), counts[-1][0])
+    # Bisect the first merge boundary: the largest eps still yielding k0
+    # clusters sits just below the eps where two clusters fuse.
+    lo = max(e for e, c in counts if e < merged)
+    hi = merged
+    for _ in range(14):
+        mid = 0.5 * (lo + hi)
+        if k(mid) < k0:
+            hi = mid
+        else:
+            lo = mid
+    unstable = lo * 0.9999
+    return points, min_pts, (stable, merged, unstable), (lo, hi)
+
+
+def test_fig09_grid(fig9_setup, report, benchmark):
+    points, min_pts, radii, boundary = fig9_setup
+    rows = []
+    for eps in radii:
+        exact = dbscan(points, eps, min_pts)
+        row = [f"{eps:.0f}", str(exact.n_clusters)]
+        for rho in FIG9_RHO_VALUES:
+            approx = approx_dbscan(points, eps, min_pts, rho=rho)
+            if approx.same_clusters(exact):
+                verdict = "SAME"
+            else:
+                # Quantify how far off a DIFF is: even at the unstable
+                # radius the clusters overlap heavily (they merged, not
+                # scrambled).
+                verdict = f"DIFF(J={best_match_jaccard(approx, exact):.2f})"
+            row.append(f"{approx.n_clusters}/{verdict}")
+        rows.append(row)
+
+    report("Figure 9 — exact vs rho-approximate clusters (2D, MinPts=20)")
+    report(format_table(
+        ["eps", "#exact"] + [f"rho={r} (#/same?)" for r in FIG9_RHO_VALUES], rows
+    ))
+    lo, hi = boundary
+    report(
+        f"Section 5.2 boundary narrative: {dbscan(points, lo, min_pts).n_clusters} "
+        f"clusters at eps={lo:.0f} but "
+        f"{dbscan(points, hi, min_pts).n_clusters} at eps={hi:.0f} "
+        f"(the paper's 12200-vs-12203 effect)"
+    )
+
+    # Paper's headline: the recommended rho=0.001 agrees everywhere.
+    for eps in radii:
+        exact = dbscan(points, eps, min_pts)
+        approx = approx_dbscan(points, eps, min_pts, rho=0.001)
+        assert approx.same_clusters(exact)
+
+    # Benchmark the approximate clustering at the default radius.
+    benchmark(lambda: approx_dbscan(points, radii[0], min_pts, rho=0.001))

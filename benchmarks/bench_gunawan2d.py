@@ -1,0 +1,64 @@
+"""Section 2.2: the 2D case is genuinely solved.
+
+Gunawan's algorithm gives exact DBSCAN in O(n log n) for d = 2; the paper
+contrasts this with the impossibility of similar bounds for d >= 3.  This
+bench times Gunawan's algorithm (our grid algorithm with NN-based edges)
+against KDD96 and brute force on 2D seed-spreader data over a doubling-n
+sweep, and estimates the growth exponent — it should hover near 1 (the
+log factor is invisible at these sizes), far below brute force's 2.
+"""
+
+import numpy as np
+
+from repro import dbscan
+from repro.data import seed_spreader
+from repro.evaluation import format_table, line_chart
+from repro.evaluation.timing import timed
+
+from . import config as cfg
+
+
+def _exponent(ns, ts):
+    ns, ts = np.asarray(ns, dtype=float), np.asarray(ts, dtype=float)
+    ok = ts > 0
+    if ok.sum() < 2:
+        return float("nan")
+    return float(np.polyfit(np.log(ns[ok]), np.log(ts[ok]), 1)[0])
+
+
+def test_gunawan_2d_scaling(report, benchmark):
+    ns = [cfg.scaled(n) for n in (1000, 2000, 4000, 8000)]
+    series = {"Gunawan2D": [], "KDD96": [], "brute": []}
+    rows = []
+    last_results = {}
+    for n in ns:
+        points = seed_spreader(n, 2, seed=cfg.SEED).points
+        gun = timed("gunawan", lambda: dbscan(points, cfg.DEFAULT_EPS, cfg.MINPTS,
+                                              algorithm="gunawan2d"))
+        kdd = timed("kdd96", lambda: dbscan(points, cfg.DEFAULT_EPS, cfg.MINPTS,
+                                            algorithm="kdd96",
+                                            time_budget=cfg.TIME_BUDGET))
+        brute = timed("brute", lambda: dbscan(points, cfg.DEFAULT_EPS, cfg.MINPTS,
+                                              algorithm="brute"))
+        series["Gunawan2D"].append(gun.seconds)
+        series["KDD96"].append(kdd.seconds)
+        series["brute"].append(brute.seconds)
+        rows.append([str(n), gun.cell(), kdd.cell(), brute.cell()])
+        last_results = {"gunawan": gun.result, "brute": brute.result}
+
+    report(f"Section 2.2 — the solved 2D case (eps={cfg.DEFAULT_EPS:g}, "
+           f"MinPts={cfg.MINPTS})")
+    report(format_table(["n", "Gunawan2D", "KDD96", "brute"], rows))
+    report(line_chart(ns, series, x_label="n", y_label="time"))
+    g_exp = _exponent(ns, series["Gunawan2D"])
+    b_exp = _exponent(ns, series["brute"])
+    report(f"growth exponents: Gunawan2D ~ n^{g_exp:.2f}, brute ~ n^{b_exp:.2f}")
+
+    # Exactness: Gunawan's output is the unique DBSCAN result.
+    assert last_results["gunawan"].same_clusters(last_results["brute"])
+    # Shape: clearly subquadratic, and faster than brute at the top size.
+    assert series["Gunawan2D"][-1] < series["brute"][-1]
+
+    points = seed_spreader(ns[0], 2, seed=cfg.SEED).points
+    benchmark(lambda: dbscan(points, cfg.DEFAULT_EPS, cfg.MINPTS,
+                             algorithm="gunawan2d"))

@@ -1,0 +1,61 @@
+"""Lemma 4: the USEC-via-DBSCAN reduction, validated and timed.
+
+Runs the reduction with the grid exact algorithm as the black box on a
+batch of random 3D instances and planted 5D instances, checks agreement
+with a brute-force USEC oracle on every one, and reports timings.
+"""
+
+from repro import dbscan
+from repro.evaluation import format_table
+from repro.evaluation.timing import timed
+from repro.hardness import planted_instance, random_instance, usec_brute, usec_via_dbscan
+from repro.hardness.usec_fast import usec_grid
+
+from . import config as cfg
+
+
+def solver(P, eps, min_pts):
+    return dbscan(P, eps, min_pts, algorithm="grid")
+
+
+def test_lemma4_reduction(report, benchmark):
+    rows = []
+    agreements = 0
+    total = 0
+
+    def record(label, inst):
+        nonlocal agreements, total
+        brute = timed("brute", lambda: usec_brute(inst))
+        fast = timed("grid", lambda: usec_grid(inst))
+        via = timed("via", lambda: usec_via_dbscan(inst, solver))
+        agree = brute.result == via.result == fast.result
+        agreements += agree
+        total += 1
+        rows.append([label, str(brute.result), brute.cell(), fast.cell(),
+                     via.cell(), str(agree)])
+
+    n_pt = cfg.scaled(2000)
+    n_ball = cfg.scaled(1000)
+    for seed in range(5):
+        record(
+            f"random 3D #{seed}",
+            random_instance(n_pt, n_ball, d=3, radius=1500.0,
+                            domain=100_000.0, seed=seed),
+        )
+    for answer in (True, False):
+        record(
+            f"planted 5D {answer}",
+            planted_instance(n_pt // 2, n_ball // 2, d=5, radius=20_000.0,
+                             answer=answer, domain=100_000.0, seed=7),
+        )
+
+    report(f"Lemma 4 — USEC three ways (n_pt={n_pt}, n_ball={n_ball})")
+    report(format_table(
+        ["instance", "answer", "brute t(s)", "grid t(s)", "via-DBSCAN t(s)", "agree"],
+        rows,
+    ))
+    assert agreements == total
+
+    inst = random_instance(n_pt, n_ball, d=3, radius=1500.0,
+                           domain=100_000.0, seed=99)
+    benchmark(lambda: usec_via_dbscan(inst, solver))

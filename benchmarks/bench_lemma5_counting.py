@@ -1,0 +1,66 @@
+"""Lemma 5: the approximate range-counting structure.
+
+The lemma promises O(n) expected construction and O(1) expected query for
+fixed eps, rho, d.  This bench measures both over a doubling-n sweep:
+build time should grow ~linearly, per-query time should stay flat; and we
+re-verify the counting contract on every sampled query.
+"""
+
+import numpy as np
+
+from repro.data import seed_spreader
+from repro.evaluation import format_table
+from repro.evaluation.timing import timed
+from repro.grid.hierarchy import CountingHierarchy
+
+from . import config as cfg
+
+EPS = 5000.0
+RHO = 0.001
+QUERIES = 200
+
+
+def test_lemma5_build_and_query(report, benchmark):
+    ns = [cfg.scaled(n) for n in (2000, 4000, 8000, 16000)]
+    rng = np.random.default_rng(cfg.SEED)
+    rows = []
+    per_query = []
+    for n in ns:
+        points = seed_spreader(n, 3, seed=cfg.SEED).points
+        build = timed("build", lambda: CountingHierarchy(points, EPS, RHO))
+        structure = build.result
+        queries = rng.uniform(0, 100_000.0, size=(QUERIES, 3))
+
+        def run_queries():
+            return [structure.count(q) for q in queries]
+
+        query = timed("query", run_queries)
+        per_query.append(query.seconds / QUERIES)
+        rows.append([
+            str(n), build.cell(), f"{query.seconds / QUERIES * 1e6:.1f}",
+            str(structure.node_count()),
+        ])
+
+        # Contract check on a sample of queries.
+        answers = query.result
+        sq = ((points[None, :, :] - queries[:, None, :]) ** 2).sum(axis=2)
+        lo = (sq <= EPS * EPS).sum(axis=1)
+        hi = (sq <= (EPS * (1 + RHO)) ** 2).sum(axis=1)
+        assert ((lo <= answers) & (answers <= hi)).all()
+
+    report(f"Lemma 5 — counting hierarchy (eps={EPS:g}, rho={RHO}, 3D)")
+    report(format_table(["n", "build (s)", "query (us)", "cells stored"], rows))
+
+    # O(1) query shape: per-query time at the largest n is within a small
+    # factor of the smallest n.
+    assert per_query[-1] <= per_query[0] * 8 + 1e-4
+
+    points = seed_spreader(ns[0], 3, seed=cfg.SEED).points
+    benchmark(lambda: CountingHierarchy(points, EPS, RHO))
+
+
+def test_lemma5_query_benchmark(benchmark):
+    points = seed_spreader(cfg.scaled(8000), 3, seed=cfg.SEED).points
+    structure = CountingHierarchy(points, EPS, RHO)
+    q = points[len(points) // 2]
+    benchmark(lambda: structure.count(q))

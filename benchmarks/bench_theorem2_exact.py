@@ -1,0 +1,88 @@
+"""Theorem 2 (shape check): the new exact algorithm is subquadratic.
+
+Times the grid+BCP exact algorithm against the O(n^2) brute-force
+reference over a doubling-n sweep and estimates empirical growth
+exponents from successive ratios.  Expectations:
+
+* brute force doubles its time ~4x per n-doubling (exponent ~2);
+* the grid algorithm's exponent stays clearly below brute-force's on the
+  clustered workloads the paper targets.
+
+Also checks the Section 1.1 adversarial instance (all points within eps of
+each other): the original algorithm's n range queries touch Theta(n^2)
+pairs there, while the grid algorithm collapses it to a single dense cell.
+"""
+
+import numpy as np
+
+from repro import dbscan
+from repro.data import seed_spreader
+from repro.evaluation import format_table
+from repro.evaluation.timing import timed
+
+from . import config as cfg
+
+
+def _exponent(ns, ts):
+    """Least-squares slope of log t over log n."""
+    ns, ts = np.asarray(ns, dtype=float), np.asarray(ts, dtype=float)
+    ok = ts > 0
+    if ok.sum() < 2:
+        return float("nan")
+    return float(np.polyfit(np.log(ns[ok]), np.log(ts[ok]), 1)[0])
+
+
+def test_theorem2_growth(report, benchmark):
+    ns = [cfg.scaled(n) for n in (1000, 2000, 4000, 8000)]
+    rows = []
+    grid_times, brute_times = [], []
+    for n in ns:
+        points = seed_spreader(n, 3, seed=cfg.SEED).points
+        grid_run = timed("grid", lambda: dbscan(points, cfg.DEFAULT_EPS, cfg.MINPTS,
+                                                algorithm="grid"))
+        brute_run = timed("brute", lambda: dbscan(points, cfg.DEFAULT_EPS, cfg.MINPTS,
+                                                  algorithm="brute"))
+        grid_times.append(grid_run.seconds)
+        brute_times.append(brute_run.seconds)
+        rows.append([str(n), grid_run.cell(), brute_run.cell()])
+
+    g_exp = _exponent(ns, grid_times)
+    b_exp = _exponent(ns, brute_times)
+    report("Theorem 2 — exact grid+BCP vs brute force, SS3D, eps=5000")
+    report(format_table(["n", "OurExact (s)", "brute (s)"], rows))
+    report(f"empirical growth exponents: OurExact ~ n^{g_exp:.2f}, brute ~ n^{b_exp:.2f}")
+
+    # Shape: the grid algorithm beats brute force at the largest n and does
+    # not grow faster than it.
+    assert grid_times[-1] < brute_times[-1]
+
+    points = seed_spreader(ns[0], 3, seed=cfg.SEED).points
+    benchmark(lambda: dbscan(points, cfg.DEFAULT_EPS, cfg.MINPTS, algorithm="grid"))
+
+
+def test_footnote1_adversarial_instance(report, benchmark):
+    """All points within eps of each other: KDD96's queries are Theta(n^2)."""
+    n = cfg.scaled(3000)
+    rng = np.random.default_rng(cfg.SEED)
+    points = rng.uniform(0, 1.0, size=(n, 3))  # diameter << eps
+    eps = 5000.0
+
+    def run():
+        kdd = timed("kdd96", lambda: dbscan(points, eps, cfg.MINPTS, algorithm="kdd96",
+                                            time_budget=cfg.TIME_BUDGET))
+        grid = timed("grid", lambda: dbscan(points, eps, cfg.MINPTS, algorithm="grid"))
+        return kdd, grid
+
+    kdd, grid = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("Footnote 1 — all points within eps (single dense cell):")
+    report(format_table(
+        ["algorithm", "time (s)"],
+        [["KDD96", kdd.cell()], ["OurExact", grid.cell()]],
+    ))
+    assert grid.finished
+    if kdd.finished:
+        assert grid.seconds <= kdd.seconds
+    # Either way the result is one cluster covering everything.
+    result = grid.result
+    assert result.n_clusters == 1
+    assert result.core_mask.all()

@@ -1,0 +1,99 @@
+"""Benchmark workload configuration — the scaled Table 1.
+
+The paper runs C++ on datasets of 100k-10m points; this reproduction is
+pure Python, so every cardinality below is the paper's divided by a scale
+factor (default 1/100 of the paper's smallest settings) while keeping
+every other parameter paper-faithful: domain [0, 1e5]^d, dimensionalities
+{3, 5, 7}, eps sweeps starting at 5000, rho grid from Table 1, and the
+seed-spreader generator of Section 5.1.  ``REPRO_SCALE`` multiplies all
+cardinalities (e.g. ``REPRO_SCALE=10`` for a long-running, closer-to-paper
+run).
+
+``MinPts`` is lowered from the paper's 100 to 10 by default: with 100x
+fewer points per cluster, keeping MinPts at 100 would turn most clustered
+points into noise and measure a different regime than the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro import config as paper
+from repro.data import real_like, seed_spreader
+
+#: Workload multiplier from REPRO_SCALE.
+SCALE = paper.scale_factor()
+
+
+def scaled(n: int) -> int:
+    return max(100, int(n * SCALE))
+
+
+#: The Figure 11 cardinality sweep (paper: 100k .. 10m).
+FIG11_N_SWEEP: Tuple[int, ...] = tuple(scaled(n) for n in (1000, 2000, 4000, 8000))
+
+#: Default synthetic cardinality (paper: 2m).
+DEFAULT_N = scaled(8000)
+
+#: Cardinality of the real-dataset stand-ins (paper: 2m-3.9m).
+REAL_N = scaled(4000)
+
+#: Dimensionalities of Table 1.
+DIMENSIONS = paper.PAPER_DIMENSIONS
+
+#: MinPts for benchmark runs (paper: 100 at 100x the cardinality).
+MINPTS = 10
+
+#: Default eps / rho (Table 1 bold values).
+DEFAULT_EPS = 5000.0
+DEFAULT_RHO = paper.DEFAULT_RHO
+
+#: rho grid of Table 1, thinned for runtime.
+RHO_GRID = (0.001, 0.01, 0.05, 0.1)
+
+#: Number of eps samples per sweep (the paper plots ~6-8 per panel).
+EPS_STEPS = 4
+
+#: Wall-clock budget per algorithm run: the analogue of the paper's
+#: 12-hour cut-off for KDD96 / CIT08.
+TIME_BUDGET = 10.0 * max(1.0, SCALE)
+
+#: Master seed for all benchmark datasets.
+SEED = 20150531
+
+
+class WorkloadCache:
+    """Lazily generated, memoised benchmark datasets."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[tuple, np.ndarray] = {}
+
+    def ss(self, d: int, n: int = DEFAULT_N) -> np.ndarray:
+        """Seed-spreader dataset SS<d>D with `n` points."""
+        key = ("ss", d, n)
+        if key not in self._cache:
+            self._cache[key] = seed_spreader(n, d, seed=SEED + d).points
+        return self._cache[key]
+
+    def real(self, name: str, n: int = REAL_N) -> np.ndarray:
+        key = ("real", name, n)
+        if key not in self._cache:
+            generator = real_like.REAL_LIKE_GENERATORS[name]
+            self._cache[key] = generator(n, seed=SEED)
+        return self._cache[key]
+
+    def eps_sweep(self, points: np.ndarray, min_pts: int = MINPTS) -> np.ndarray:
+        """eps values from 5000 towards the collapsing radius (Table 1).
+
+        The collapsing radius itself costs several clusterings to locate;
+        benches approximate the sweep end with a quantile of pairwise
+        extent, which lands in the same regime at a fraction of the cost.
+        """
+        key = ("sweep", id(points), min_pts)
+        if key not in self._cache:
+            span = points.max(axis=0) - points.min(axis=0)
+            hi = float(np.linalg.norm(span)) / 3.0
+            self._cache[key] = np.linspace(DEFAULT_EPS, max(hi, DEFAULT_EPS * 2), EPS_STEPS)
+        return self._cache[key]

@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench prints paper-style rows through the ``report`` fixture, which
+writes straight to the terminal reporter so the tables appear even under
+pytest's output capture (no ``-s`` needed).
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+
+@pytest.fixture()
+def report(capsys):
+    """A ``print``-like callable that bypasses pytest output capture."""
+
+    def write(line: str = "") -> None:
+        with capsys.disabled():
+            print(line, file=sys.stderr)
+
+    write("")  # drop to a fresh line under the live progress dots
+    return write
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    """Session-cached workload datasets (see benchmarks/config.py)."""
+    from . import config as bench_config
+
+    return bench_config.WorkloadCache()

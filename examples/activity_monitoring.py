@@ -1,0 +1,52 @@
+"""Activity-pattern discovery in wearable-sensor data — the *PAMAP2* use case.
+
+The paper's PAMAP2 dataset is the 4D PCA of inertial-sensor streams from
+subjects performing daily activities.  This example simulates such streams
+(several oscillatory activity regimes over 9 IMU channels), projects them
+to 4D exactly as the paper preprocessed PAMAP2, and shows the practical
+point of Section 5.3: on multi-dimensional data the classic baselines slow
+down dramatically as eps grows, while rho-approximate DBSCAN stays fast —
+at (almost always) identical clustering output.
+
+Run::
+
+    python examples/activity_monitoring.py
+"""
+
+from time import perf_counter
+
+from repro import approx_dbscan, dbscan
+from repro.data import pamap2_like
+from repro.evaluation import confusion_summary
+
+N = 6000
+EPS = 6000.0
+MIN_PTS = 25
+
+
+def main() -> None:
+    points = pamap2_like(N, seed=99)
+    print(f"simulated {N} sensor readings -> PCA to {points.shape[1]}D\n")
+
+    runs = {}
+    for name in ("kdd96", "grid"):
+        start = perf_counter()
+        runs[name] = dbscan(points, EPS, MIN_PTS, algorithm=name)
+        print(f"{name:>7}: {perf_counter() - start:7.3f}s  {runs[name].summary()}")
+
+    start = perf_counter()
+    approx = approx_dbscan(points, EPS, MIN_PTS, rho=0.001)
+    print(f"{'approx':>7}: {perf_counter() - start:7.3f}s  {approx.summary()}\n")
+
+    print("approx vs exact:", confusion_summary(runs["grid"], approx))
+    print(
+        "\nEach cluster is one recurring activity regime; noise points are "
+        "transitions between activities."
+    )
+    for cid, size in enumerate(approx.cluster_sizes()):
+        share = size / approx.n
+        print(f"  activity cluster {cid}: {size} readings ({share:.1%} of the stream)")
+
+
+if __name__ == "__main__":
+    main()

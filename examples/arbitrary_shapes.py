@@ -1,0 +1,63 @@
+"""Figure 1's motivation, executable: DBSCAN vs k-means on arbitrary shapes.
+
+The paper opens with two classic pictures — snake-shaped clusters and
+noisy rings — and the claim that density-based clustering finds such
+shapes while k-means "typically returns ball-like clusters".  This
+example regenerates both datasets, runs rho-approximate DBSCAN and our
+k-means baseline, scores each against the generating components, and
+renders the side-by-side as ASCII.
+
+Run::
+
+    python examples/arbitrary_shapes.py
+"""
+
+import numpy as np
+
+from repro import approx_dbscan
+from repro.data import rings, snakes
+from repro.extensions.kmeans import kmeans, purity
+
+GLYPHS = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+WIDTH, HEIGHT = 64, 20
+
+
+def render(points, labels):
+    lo, hi = points.min(axis=0), points.max(axis=0)
+    span = np.where(hi > lo, hi - lo, 1.0)
+    canvas = [[" "] * WIDTH for _ in range(HEIGHT)]
+    for (x, y), label in zip(points, labels):
+        c = int((x - lo[0]) / span[0] * (WIDTH - 1))
+        r = int((y - lo[1]) / span[1] * (HEIGHT - 1))
+        canvas[HEIGHT - 1 - r][c] = GLYPHS[label % 26] if label >= 0 else "."
+    return "\n".join("".join(row) for row in canvas)
+
+
+def compare(name, points, provenance, eps, min_pts, k):
+    print(f"=== {name} ({len(points)} points, {k} generating components) ===\n")
+    db = approx_dbscan(points, eps, min_pts, rho=0.001)
+    km = kmeans(points, k, seed=0)
+    print(f"DBSCAN ({db.n_clusters} clusters, purity {purity(db.labels, provenance):.1%}):")
+    print(render(points, db.labels))
+    print(f"\nk-means (k={k}, purity {purity(km.labels, provenance):.1%}):")
+    print(render(points, km.labels))
+    print()
+    return purity(db.labels, provenance), purity(km.labels, provenance)
+
+
+def main() -> None:
+    pts, prov = snakes(1200, n_snakes=4, seed=3)
+    db_p, km_p = compare("snakes (Figure 1, left)", pts, prov,
+                         eps=0.6, min_pts=6, k=4)
+
+    pts, prov = rings(1200, radii=(1.0, 2.2, 3.4), noise=0.05, seed=5)
+    db_p2, km_p2 = compare("rings (Figure 1, right, in spirit)", pts, prov,
+                           eps=0.35, min_pts=6, k=3)
+
+    print("Summary: density-based clustering recovers the arbitrary shapes "
+          f"(purity {db_p:.1%} / {db_p2:.1%}) where k-means cuts across them "
+          f"({km_p:.1%} / {km_p2:.1%}).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Colour/texture segmentation with VZ features — the *Farm* use case.
+
+The paper's Farm dataset is the 5D VZ-features of a satellite image of a
+farm; VZ-feature clustering is a standard colour-segmentation approach
+(Section 5.1).  This example runs that exact pipeline end to end on a
+synthetic satellite image:
+
+1. render a multi-region textured image;
+2. extract VZ patch features for every pixel;
+3. reduce to 5 dimensions with PCA (as the paper did);
+4. cluster with rho-approximate DBSCAN;
+5. print an ASCII rendering of the recovered segmentation.
+
+Run::
+
+    python examples/image_segmentation.py
+"""
+
+import numpy as np
+
+from repro import approx_dbscan
+from repro.data import vz
+
+
+SIZE = 48            # image side (pixels); raise for finer segmentation
+PATCH = 3            # VZ patch size
+EPS = 9000.0         # radius in the normalised [0, 1e5]^5 feature domain
+MIN_PTS = 12
+GLYPHS = "#@%*+=-:. abcdefgh"
+
+
+def main() -> None:
+    image = vz.synthetic_satellite_image(SIZE, SIZE, n_regions=5, seed=20150531)
+    print(f"rendered a {SIZE}x{SIZE} synthetic satellite image (5 land-use regions)")
+
+    features = vz.vz_features(image, patch_size=PATCH)
+    projected, _components = vz.pca(features, 5)
+    points = vz.rescale_to_domain(projected, 100_000.0)
+    print(f"extracted {len(points)} VZ features -> PCA to {points.shape[1]}D")
+
+    result = approx_dbscan(points, EPS, MIN_PTS, rho=0.001)
+    print(f"clustering: {result.summary()}\n")
+
+    # Map labels back onto the (interior) pixel lattice and render.
+    side = SIZE - 2 * (PATCH // 2)
+    lattice = result.labels.reshape(side, side)
+    print("recovered segmentation (one glyph per cluster, '.' = noise):")
+    for row in lattice[:: max(1, side // 40)]:
+        line = "".join(
+            GLYPHS[label % (len(GLYPHS) - 1)] if label >= 0 else "."
+            for label in row[:: max(1, side // 72)]
+        )
+        print("  " + line)
+
+    sizes = sorted(result.cluster_sizes(), reverse=True)
+    print(f"\nsegment sizes: {sizes[:8]}{' ...' if len(sizes) > 8 else ''}")
+
+
+if __name__ == "__main__":
+    main()

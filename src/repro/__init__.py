@@ -1,0 +1,46 @@
+"""repro — a full reproduction of Gan & Tao, SIGMOD 2015:
+"DBSCAN Revisited: Mis-Claim, Un-Fixability, and Approximation".
+
+Highlights
+----------
+* :func:`repro.dbscan` — exact DBSCAN with every algorithm the paper
+  evaluates (the new grid+BCP algorithm of Theorem 2, KDD96, CIT08,
+  Gunawan's 2D algorithm, and a brute-force oracle).
+* :func:`repro.approx_dbscan` — rho-approximate DBSCAN (Theorem 4),
+  expected linear time, with the sandwich quality guarantee of Theorem 3.
+* :mod:`repro.hardness` — executable Lemma 4: the reduction that makes any
+  fast DBSCAN algorithm solve the USEC problem.
+* :mod:`repro.data` — the seed-spreader generator of Section 5.1 and
+  synthetic stand-ins for the paper's real datasets.
+* :mod:`repro.evaluation` — cluster-set comparison, maximum-legal-rho
+  sweeps (Figure 10), collapsing-radius search, timing harness.
+"""
+
+from repro.api import EXACT_ALGORITHMS, approx_dbscan, dbscan
+from repro.core.params import ApproxParams, DBSCANParams
+from repro.core.result import NOISE, Clustering
+from repro.errors import (
+    AlgorithmError,
+    DataError,
+    ParameterError,
+    ReproError,
+    TimeoutExceeded,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "dbscan",
+    "approx_dbscan",
+    "Clustering",
+    "DBSCANParams",
+    "ApproxParams",
+    "NOISE",
+    "EXACT_ALGORITHMS",
+    "ReproError",
+    "ParameterError",
+    "DataError",
+    "AlgorithmError",
+    "TimeoutExceeded",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""The DBSCAN algorithms evaluated in the paper (Section 5.3)."""
+
+from repro.algorithms.approx import approx_dbscan
+from repro.algorithms.brute import brute_dbscan
+from repro.algorithms.cit08 import cit08_dbscan
+from repro.algorithms.exact_grid import exact_grid_dbscan, gunawan_2d_dbscan
+from repro.algorithms.kdd96 import kdd96_dbscan
+
+__all__ = [
+    "approx_dbscan",
+    "brute_dbscan",
+    "cit08_dbscan",
+    "exact_grid_dbscan",
+    "gunawan_2d_dbscan",
+    "kdd96_dbscan",
+]

@@ -1,0 +1,73 @@
+"""OurApprox: rho-approximate DBSCAN in O(n) expected time (Theorem 4).
+
+Identical to the exact grid algorithm except for the core-cell graph: the
+edge between two eps-neighbouring core cells is decided by approximate
+range-count queries (Lemma 5 structures built on each cell's core points)
+under the paper's yes / no / don't-care contract.
+
+The output is a legal solution to Problem 2 and therefore enjoys the
+sandwich guarantee of Theorem 3: every exact-DBSCAN(eps) cluster is
+contained in one of these clusters, and each of these clusters is contained
+in an exact-DBSCAN(eps(1+rho)) cluster.
+"""
+
+from __future__ import annotations
+
+from repro.core.border import assign_borders
+from repro.core.cellgraph import approx_components
+from repro.core.labeling import label_cores
+from repro.core.params import ApproxParams
+from repro.core.result import Clustering, build_clustering
+from repro.grid.cells import Grid
+from repro.utils.log import get_logger
+from repro.utils.validation import as_points
+
+_log = get_logger("algorithms.approx")
+
+
+def approx_dbscan(
+    points,
+    eps: float,
+    min_pts: int,
+    rho: float = 0.001,
+    exact_leaf_size: int | None = None,
+) -> Clustering:
+    """rho-approximate DBSCAN (Theorem 4).
+
+    Parameters
+    ----------
+    points:
+        Array-like of shape ``(n, d)``.
+    eps, min_pts:
+        The usual DBSCAN parameters.
+    rho:
+        Approximation constant; the paper recommends 0.001 (Section 5.2).
+    exact_leaf_size:
+        Tuning knob of the Lemma 5 structures (None = library default;
+        0 = the paper's verbatim structure).
+    """
+    params = ApproxParams(eps, min_pts, rho)
+    pts = as_points(points)
+    grid = Grid(pts, params.eps)
+    _log.debug("grid built: %d non-empty cells for %d points", len(grid), len(pts))
+    core_mask = label_cores(grid, params.min_pts)
+    _log.debug("labeling done: %d core points", int(core_mask.sum()))
+    core_labels, k = approx_components(
+        grid, core_mask, params.rho, exact_leaf_size=exact_leaf_size
+    )
+    _log.debug("approximate graph connectivity done: %d components", k)
+    borders = assign_borders(grid, core_mask, core_labels)
+    _log.debug("border assignment done: %d border points", len(borders))
+    return build_clustering(
+        len(pts),
+        core_mask,
+        core_labels,
+        borders,
+        meta={
+            "algorithm": "approx",
+            "eps": params.eps,
+            "min_pts": params.min_pts,
+            "rho": params.rho,
+            "grid_cells": len(grid),
+        },
+    )

@@ -1,0 +1,131 @@
+"""Seed-expansion DBSCAN control flow shared by KDD96 and CIT08.
+
+This is the original KDD'96 algorithm: scan the points; when an
+unclassified point proves core, start a cluster and grow it by repeatedly
+range-querying the seeds (the "chained effect" of Section 1).  Exactly one
+range query is issued per point — which is precisely why the algorithm is
+Theta(n^2) in the worst case: when all points lie within ``eps`` of each
+other, the queries alone touch n^2 pairs (footnote 1 of the paper).
+
+The expansion collects, on the side, the *full* border memberships (every
+non-core point within ``eps`` of an expanded core point joins that core's
+cluster), so the returned :class:`~repro.core.result.Clustering` is the
+canonical unique DBSCAN result of Problem 1 even though the classic
+first-come label assignment is also preserved in ``meta['first_labels']``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from time import perf_counter
+from typing import Callable, Dict, Optional, Set
+
+import numpy as np
+
+from repro.core.params import DBSCANParams
+from repro.core.result import Clustering, build_clustering
+from repro.errors import TimeoutExceeded
+
+RegionQuery = Callable[[int], np.ndarray]
+
+
+def expand_dbscan(
+    points: np.ndarray,
+    params: DBSCANParams,
+    region_query: RegionQuery,
+    algorithm_name: str,
+    time_budget: Optional[float] = None,
+    extra_meta: Optional[Dict[str, object]] = None,
+) -> Clustering:
+    """Run seed-expansion DBSCAN with the given range-query backend.
+
+    ``region_query(i)`` must return the indices of all points within
+    ``params.eps`` of point ``i`` (including ``i`` itself).
+    ``time_budget`` (seconds) aborts long runs with
+    :class:`~repro.errors.TimeoutExceeded` — the reproduction's analogue of
+    the paper's 12-hour cut-off for the slow baselines.
+    """
+    n = len(points)
+    min_pts = params.min_pts
+    start_time = perf_counter()
+
+    UNCLASSIFIED, NOISE = -2, -1
+    first_labels = np.full(n, UNCLASSIFIED, dtype=np.int64)
+    core_mask = np.zeros(n, dtype=bool)
+    queried = np.zeros(n, dtype=bool)
+    memberships: Dict[int, Set[int]] = {}
+    n_clusters = 0
+    n_queries = 0
+    n_retrieved = 0  # total points returned by all range queries
+
+    for p in range(n):
+        if first_labels[p] != UNCLASSIFIED:
+            continue
+        if time_budget is not None:
+            elapsed = perf_counter() - start_time
+            if elapsed > time_budget:
+                raise TimeoutExceeded(elapsed, time_budget)
+        neighbors = region_query(p)
+        queried[p] = True
+        n_queries += 1
+        n_retrieved += len(neighbors)
+        if len(neighbors) < min_pts:
+            first_labels[p] = NOISE  # may be revised to border later
+            continue
+        # p is core: start a new cluster and expand it.
+        cid = n_clusters
+        n_clusters += 1
+        core_mask[p] = True
+        first_labels[p] = cid
+        seeds = deque()
+        _absorb(neighbors, cid, first_labels, core_mask, memberships, seeds, NOISE, UNCLASSIFIED)
+        while seeds:
+            q = seeds.popleft()
+            if queried[q]:
+                continue
+            queried[q] = True
+            n_queries += 1
+            if time_budget is not None and n_queries % 256 == 0:
+                elapsed = perf_counter() - start_time
+                if elapsed > time_budget:
+                    raise TimeoutExceeded(elapsed, time_budget)
+            q_neighbors = region_query(q)
+            n_retrieved += len(q_neighbors)
+            if len(q_neighbors) < min_pts:
+                continue  # border point: stays in the cluster, not expanded
+            core_mask[q] = True
+            _absorb(q_neighbors, cid, first_labels, core_mask, memberships, seeds, NOISE, UNCLASSIFIED)
+
+    # Assemble the canonical result: cluster id per core point plus the full
+    # border membership sets gathered during expansion.
+    core_labels = np.where(core_mask, first_labels, -1)
+    borders = {
+        q: tuple(sorted(cids))
+        for q, cids in memberships.items()
+        if not core_mask[q]
+    }
+    meta: Dict[str, object] = {
+        "algorithm": algorithm_name,
+        "eps": params.eps,
+        "min_pts": params.min_pts,
+        "range_queries": n_queries,
+        "points_retrieved": n_retrieved,
+        "first_labels": np.where(first_labels == UNCLASSIFIED, NOISE, first_labels),
+    }
+    if extra_meta:
+        meta.update(extra_meta)
+    return build_clustering(n, core_mask, core_labels, borders, meta=meta)
+
+
+def _absorb(neighbors, cid, first_labels, core_mask, memberships, seeds, NOISE, UNCLASSIFIED):
+    """Fold a core point's neighbourhood into cluster ``cid``."""
+    for r in neighbors:
+        r = int(r)
+        label = first_labels[r]
+        if label == UNCLASSIFIED:
+            first_labels[r] = cid
+            seeds.append(r)
+        elif label == NOISE:
+            first_labels[r] = cid  # classic border re-labelling
+        if not core_mask[r]:
+            memberships.setdefault(r, set()).add(cid)

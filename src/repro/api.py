@@ -1,0 +1,83 @@
+"""Public entry points of the library.
+
+Two calls cover the paper's headline functionality:
+
+>>> from repro import dbscan, approx_dbscan
+>>> result = dbscan(points, eps=0.3, min_pts=10)          # exact (Theorem 2)
+>>> result = approx_dbscan(points, eps=0.3, min_pts=10, rho=0.001)  # Theorem 4
+
+``dbscan`` also exposes every exact algorithm the paper evaluates through
+its ``algorithm`` argument, so benchmark code and curious users can compare
+them directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algorithms.approx import approx_dbscan
+from repro.algorithms.brute import brute_dbscan
+from repro.algorithms.cit08 import cit08_dbscan
+from repro.algorithms.exact_grid import exact_grid_dbscan, gunawan_2d_dbscan
+from repro.algorithms.kdd96 import kdd96_dbscan
+from repro.core.result import Clustering
+from repro.errors import ParameterError
+
+#: Names accepted by :func:`dbscan`'s ``algorithm`` argument.
+EXACT_ALGORITHMS = ("grid", "kdd96", "cit08", "brute", "gunawan2d")
+
+
+def dbscan(
+    points,
+    eps: float,
+    min_pts: int,
+    algorithm: str = "grid",
+    time_budget: Optional[float] = None,
+) -> Clustering:
+    """Exact DBSCAN (Problem 1) with a selectable algorithm.
+
+    Parameters
+    ----------
+    points:
+        Array-like of shape ``(n, d)``.
+    eps, min_pts:
+        The DBSCAN parameters of Definition 1.
+    algorithm:
+        ``"grid"``
+            the paper's new exact algorithm (Section 3.2, Theorem 2) —
+            recommended default;
+        ``"kdd96"``
+            the original 1996 algorithm over an R-tree;
+        ``"cit08"``
+            the grid-accelerated 2008 baseline;
+        ``"gunawan2d"``
+            Gunawan's O(n log n) algorithm (2-D inputs only);
+        ``"brute"``
+            the O(n^2) reference implementation.
+    time_budget:
+        Optional per-run cut-off in seconds (honoured by the
+        expansion-based baselines, which can be extremely slow — this is
+        the point of the paper).
+
+    Returns
+    -------
+    Clustering
+        The unique DBSCAN result: clusters (with multi-membership border
+        points), a primary label array, and the core mask.
+    """
+    if algorithm == "grid":
+        return exact_grid_dbscan(points, eps, min_pts)
+    if algorithm == "kdd96":
+        return kdd96_dbscan(points, eps, min_pts, time_budget=time_budget)
+    if algorithm == "cit08":
+        return cit08_dbscan(points, eps, min_pts, time_budget=time_budget)
+    if algorithm == "gunawan2d":
+        return gunawan_2d_dbscan(points, eps, min_pts)
+    if algorithm == "brute":
+        return brute_dbscan(points, eps, min_pts)
+    raise ParameterError(
+        f"unknown algorithm {algorithm!r}; choose from {('grid',) + EXACT_ALGORITHMS[1:]}"
+    )
+
+
+__all__ = ["dbscan", "approx_dbscan", "EXACT_ALGORITHMS"]

@@ -1,0 +1,217 @@
+"""Command-line interface: ``python -m repro <command>`` or ``repro-dbscan``.
+
+Commands
+--------
+generate
+    Produce a dataset (seed spreader, real-dataset stand-ins, 2D shapes)
+    and save it to .npy/.csv.
+cluster
+    Run any of the paper's algorithms on a saved dataset and print a
+    summary (optionally save labels).
+compare
+    Run two algorithms and report whether they returned the same clusters.
+legal-rho
+    Compute the maximum legal rho at one eps (the Figure 10 quantity).
+collapse
+    Find the dataset's collapsing radius (Section 5.1).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro import config
+from repro.api import EXACT_ALGORITHMS, dbscan
+from repro.algorithms.approx import approx_dbscan
+from repro.data import io as data_io
+from repro.data import real_like, seed_spreader as ss_mod, shapes
+from repro.errors import ReproError
+from repro.evaluation import collapsing_radius, confusion_summary, max_legal_rho
+
+_ALL_ALGORITHMS = EXACT_ALGORITHMS + ("approx",)
+
+
+def _run_algorithm(args, points):
+    if args.algorithm == "approx":
+        return approx_dbscan(points, args.eps, args.min_pts, rho=args.rho)
+    return dbscan(points, args.eps, args.min_pts, algorithm=args.algorithm)
+
+
+def _cmd_generate(args) -> int:
+    if args.kind == "ss":
+        ds = ss_mod(args.n, args.d, seed=args.seed)
+        points = ds.points
+    elif args.kind in real_like.REAL_LIKE_GENERATORS:
+        points = real_like.REAL_LIKE_GENERATORS[args.kind](args.n, seed=args.seed)
+    elif args.kind == "moons":
+        points, _labels = shapes.two_moons(args.n, seed=args.seed)
+    elif args.kind == "rings":
+        points, _labels = shapes.rings(args.n, seed=args.seed)
+    elif args.kind == "snakes":
+        points, _labels = shapes.snakes(args.n, seed=args.seed)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ReproError(f"unknown dataset kind {args.kind}")
+    data_io.save_points(points, args.output)
+    print(f"wrote {len(points)} x {points.shape[1]} points to {args.output}")
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    points = data_io.load_points(args.input)
+    result = _run_algorithm(args, points)
+    print(result.summary())
+    if args.labels_out:
+        np.savetxt(args.labels_out, result.labels, fmt="%d")
+        print(f"labels written to {args.labels_out}")
+    if args.result_out:
+        from repro.core.serialize import save_clustering
+
+        save_clustering(result, args.result_out)
+        print(f"result written to {args.result_out}")
+    return 0
+
+
+def _cmd_suggest_eps(args) -> int:
+    from repro.extensions.stability import suggest_eps
+
+    points = data_io.load_points(args.input)
+    sweep = np.linspace(args.lo, args.hi, args.steps)
+    plateau = suggest_eps(points, args.min_pts, sweep)
+    if plateau is None:
+        print("no stable multi-cluster eps range found in the sweep")
+        return 1
+    print(
+        f"stable plateau: eps in [{plateau.eps_lo:g}, {plateau.eps_hi:g}] "
+        f"-> {plateau.n_clusters} clusters"
+    )
+    print(f"suggested eps: {plateau.midpoint:g} "
+          f"(rho head-room ~{plateau.relative_width / 2:.3f})")
+    return 0
+
+
+def _cmd_optics(args) -> int:
+    from repro.extensions.optics import optics, reachability_profile
+
+    points = data_io.load_points(args.input)
+    result = optics(points, args.eps, args.min_pts)
+    print(f"OPTICS ordering of {result.n} points (eps={args.eps:g}, "
+          f"MinPts={args.min_pts})")
+    print(reachability_profile(result))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    points = data_io.load_points(args.input)
+    first = dbscan(points, args.eps, args.min_pts, algorithm=args.first)
+    if args.second == "approx":
+        second = approx_dbscan(points, args.eps, args.min_pts, rho=args.rho)
+    else:
+        second = dbscan(points, args.eps, args.min_pts, algorithm=args.second)
+    print(f"{args.first}: {first.summary()}")
+    print(f"{args.second}: {second.summary()}")
+    print(confusion_summary(first, second))
+    return 0
+
+
+def _cmd_legal_rho(args) -> int:
+    points = data_io.load_points(args.input)
+    rho = max_legal_rho(points, args.eps, args.min_pts)
+    print(f"maximum legal rho at eps={args.eps:g}: {rho:g}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.evaluation import report as report_mod
+
+    return report_mod.main([args.output] if args.output else [])
+
+
+def _cmd_collapse(args) -> int:
+    points = data_io.load_points(args.input)
+    radius = collapsing_radius(points, args.min_pts, lo=args.lo)
+    print(f"collapsing radius: {radius:.1f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dbscan",
+        description="DBSCAN Revisited (SIGMOD'15) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a dataset")
+    gen.add_argument("kind", choices=("ss", "pamap2", "farm", "household", "moons", "rings", "snakes"))
+    gen.add_argument("output", help="output path (.npy, .csv or .txt)")
+    gen.add_argument("-n", type=int, default=10_000, help="cardinality")
+    gen.add_argument("-d", type=int, default=3, help="dimensionality (ss only)")
+    gen.add_argument("--seed", type=int, default=None)
+    gen.set_defaults(func=_cmd_generate)
+
+    def add_common(p, with_algorithm=True):
+        p.add_argument("input", help="dataset path (.npy, .csv or .txt)")
+        p.add_argument("--eps", type=float, required=True)
+        p.add_argument("--min-pts", dest="min_pts", type=int, default=config.PAPER_MINPTS)
+        if with_algorithm:
+            p.add_argument("--rho", type=float, default=config.DEFAULT_RHO)
+
+    clu = sub.add_parser("cluster", help="cluster a dataset")
+    add_common(clu)
+    clu.add_argument("--algorithm", choices=_ALL_ALGORITHMS, default="approx")
+    clu.add_argument("--labels-out", dest="labels_out", default=None)
+    clu.add_argument("--result-out", dest="result_out", default=None,
+                     help="save the full result (.json or .npz)")
+    clu.set_defaults(func=_cmd_cluster)
+
+    sug = sub.add_parser("suggest-eps", help="find a stable eps plateau")
+    sug.add_argument("input")
+    sug.add_argument("--min-pts", dest="min_pts", type=int, default=config.PAPER_MINPTS)
+    sug.add_argument("--lo", type=float, default=1000.0)
+    sug.add_argument("--hi", type=float, default=50_000.0)
+    sug.add_argument("--steps", type=int, default=12)
+    sug.set_defaults(func=_cmd_suggest_eps)
+
+    opt = sub.add_parser("optics", help="OPTICS reachability profile")
+    add_common(opt, with_algorithm=False)
+    opt.set_defaults(func=_cmd_optics)
+
+    rep = sub.add_parser("report", help="run the quick experiment battery")
+    rep.add_argument("output", nargs="?", default=None,
+                     help="optional markdown output path")
+    rep.set_defaults(func=_cmd_report)
+
+    cmp_ = sub.add_parser("compare", help="compare two algorithms")
+    add_common(cmp_)
+    cmp_.add_argument("--first", choices=EXACT_ALGORITHMS, default="grid")
+    cmp_.add_argument("--second", choices=_ALL_ALGORITHMS, default="approx")
+    cmp_.set_defaults(func=_cmd_compare)
+
+    lr = sub.add_parser("legal-rho", help="maximum legal rho at one eps")
+    add_common(lr, with_algorithm=False)
+    lr.set_defaults(func=_cmd_legal_rho)
+
+    col = sub.add_parser("collapse", help="find the collapsing radius")
+    col.add_argument("input")
+    col.add_argument("--min-pts", dest="min_pts", type=int, default=config.PAPER_MINPTS)
+    col.add_argument("--lo", type=float, default=1.0)
+    col.set_defaults(func=_cmd_collapse)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

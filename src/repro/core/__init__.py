@@ -1,0 +1,6 @@
+"""Shared clustering machinery: parameters, results, labeling, borders, graph."""
+
+from repro.core.params import ApproxParams, DBSCANParams
+from repro.core.result import NOISE, Clustering, build_clustering
+
+__all__ = ["ApproxParams", "DBSCANParams", "Clustering", "NOISE", "build_clustering"]

@@ -1,0 +1,59 @@
+"""Border-point assignment (Section 2.2, "Assigning Border Points").
+
+After the connected components of the core-cell graph fix the clusters'
+core points, every non-core point ``q`` joins the cluster of **every** core
+point within distance ``eps`` of it — the rule that makes border points
+potentially multi-cluster members (Lemma 2 of the original paper).  A
+non-core point with no core point in range is noise.
+
+The same exact rule serves rho-approximate DBSCAN: Definition 5's
+maximality only requires exactly density-reachable points to be included,
+so assigning with the true ``eps`` yields a legal result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.geometry import distance as dm
+from repro.grid.cells import Grid
+
+
+def assign_borders(
+    grid: Grid,
+    core_mask: np.ndarray,
+    core_labels: np.ndarray,
+) -> Dict[int, Tuple[int, ...]]:
+    """Map each border point to the sorted tuple of cluster ids it joins.
+
+    ``core_labels`` holds a dense component id for every core point.
+    Points with no core point within ``eps`` are simply absent from the
+    returned mapping (they are noise).
+    """
+    points = grid.points
+    sq_eps = grid.eps * grid.eps
+    out: Dict[int, Tuple[int, ...]] = {}
+
+    for cell, idx in grid.cells.items():
+        non_core = idx[~core_mask[idx]]
+        if len(non_core) == 0:
+            continue
+        # Candidate core points: those in the cell itself and in its
+        # eps-neighbour cells.
+        blocks = [idx[core_mask[idx]]]
+        for ncell in grid.neighbor_cells(cell):
+            nidx = grid.points_in(ncell)
+            blocks.append(nidx[core_mask[nidx]])
+        cores = np.concatenate(blocks)
+        if len(cores) == 0:
+            continue
+        core_cids = core_labels[cores]
+        sq = dm.pairwise_sq_dists(points[non_core], points[cores])
+        within = sq <= sq_eps
+        for row, q in enumerate(non_core):
+            cids = np.unique(core_cids[within[row]])
+            if len(cids):
+                out[int(q)] = tuple(int(c) for c in cids)
+    return out

@@ -1,0 +1,53 @@
+"""Validated parameter objects for DBSCAN and rho-approximate DBSCAN."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_eps, check_min_pts, check_rho
+
+
+@dataclass(frozen=True)
+class DBSCANParams:
+    """The two parameters of exact DBSCAN (Section 2.1).
+
+    ``eps`` is the radius of the ball ``B(p, eps)``; ``min_pts`` is the
+    density threshold: a point is *core* iff its ball covers at least
+    ``min_pts`` points of the input (itself included).
+    """
+
+    eps: float
+    min_pts: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "eps", check_eps(self.eps))
+        object.__setattr__(self, "min_pts", check_min_pts(self.min_pts))
+
+    def inflated(self, rho: float) -> "DBSCANParams":
+        """Parameters with the radius grown to ``eps * (1 + rho)`` — the upper
+        slice of the sandwich theorem (Theorem 3)."""
+        return DBSCANParams(self.eps * (1.0 + check_rho(rho)), self.min_pts)
+
+
+@dataclass(frozen=True)
+class ApproxParams:
+    """The three parameters of rho-approximate DBSCAN (Section 4.1)."""
+
+    eps: float
+    min_pts: int
+    rho: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "eps", check_eps(self.eps))
+        object.__setattr__(self, "min_pts", check_min_pts(self.min_pts))
+        object.__setattr__(self, "rho", check_rho(self.rho))
+
+    @property
+    def exact(self) -> DBSCANParams:
+        """The exact-DBSCAN parameters at radius ``eps`` (sandwich lower slice)."""
+        return DBSCANParams(self.eps, self.min_pts)
+
+    @property
+    def exact_inflated(self) -> DBSCANParams:
+        """The exact-DBSCAN parameters at radius ``eps(1+rho)`` (upper slice)."""
+        return DBSCANParams(self.eps * (1.0 + self.rho), self.min_pts)

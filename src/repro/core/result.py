@@ -1,0 +1,194 @@
+"""The clustering result model.
+
+DBSCAN's output (Problem 1) is a *unique set of clusters*, where
+
+* every core point belongs to exactly one cluster;
+* a border point (non-core point in a cluster) may belong to **several**
+  clusters (Lemma 2 of the original KDD'96 paper — point ``o10`` of the
+  paper's Figure 2 is the canonical example);
+* noise points belong to no cluster.
+
+:class:`Clustering` therefore stores the full cluster sets (frozensets of
+point indices) alongside a convenient primary ``labels`` array.  Cluster
+ids are canonicalised — clusters are ordered by their smallest member — so
+that two results computed by different algorithms compare equal exactly
+when they denote the same set of clusters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+
+NOISE = -1
+
+
+class Clustering:
+    """An immutable DBSCAN (or rho-approximate DBSCAN) result.
+
+    Attributes
+    ----------
+    n:
+        Number of input points.
+    clusters:
+        Tuple of frozensets of point indices, ordered by smallest member.
+        This is the paper's set ``C`` — the canonical, comparable artefact.
+    labels:
+        Primary label per point: a core point gets its unique cluster id,
+        a border point the smallest id among its memberships, noise ``-1``.
+    core_mask:
+        Boolean array marking core points.
+    meta:
+        Free-form provenance (algorithm name, eps, min_pts, rho, ...).
+    """
+
+    __slots__ = ("n", "clusters", "labels", "core_mask", "meta", "_memberships")
+
+    def __init__(
+        self,
+        n: int,
+        clusters: Sequence[Iterable[int]],
+        core_mask: np.ndarray,
+        meta: Mapping[str, object] | None = None,
+    ) -> None:
+        self.n = int(n)
+        sets = [frozenset(int(i) for i in c) for c in clusters]
+        if any(not members for members in sets):
+            raise AlgorithmError("clusters must be non-empty")
+        canon = sorted(sets, key=min)
+        for members in canon:
+            if min(members) < 0 or max(members) >= self.n:
+                raise AlgorithmError("cluster member index out of range")
+        self.clusters: Tuple[frozenset, ...] = tuple(canon)
+        self.core_mask = np.asarray(core_mask, dtype=bool)
+        if self.core_mask.shape != (self.n,):
+            raise AlgorithmError("core_mask must have shape (n,)")
+        self.meta: Dict[str, object] = dict(meta or {})
+
+        labels = np.full(self.n, NOISE, dtype=np.int64)
+        memberships: Dict[int, List[int]] = {}
+        for cid in range(len(self.clusters) - 1, -1, -1):
+            for idx in self.clusters[cid]:
+                labels[idx] = cid
+                memberships.setdefault(idx, []).insert(0, cid)
+        # Iterating cluster ids downwards leaves the *smallest* id in labels
+        # and builds each membership list in increasing order.
+        self.labels = labels
+        self._memberships = {
+            idx: tuple(cids) for idx, cids in memberships.items() if len(cids) > 1
+        }
+        self._check_core_uniqueness()
+
+    def _check_core_uniqueness(self) -> None:
+        seen: Dict[int, int] = {}
+        for cid, members in enumerate(self.clusters):
+            for idx in members:
+                if self.core_mask[idx]:
+                    if idx in seen:
+                        raise AlgorithmError(
+                            f"core point {idx} appears in clusters {seen[idx]} and {cid}; "
+                            "core points must belong to exactly one cluster"
+                        )
+                    seen[idx] = cid
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.clusters)
+
+    @property
+    def noise_mask(self) -> np.ndarray:
+        """Boolean mask of points belonging to no cluster."""
+        return self.labels == NOISE
+
+    @property
+    def border_mask(self) -> np.ndarray:
+        """Boolean mask of non-core points that belong to some cluster."""
+        return (~self.core_mask) & (self.labels != NOISE)
+
+    def memberships_of(self, idx: int) -> Tuple[int, ...]:
+        """All cluster ids containing point ``idx`` (empty tuple for noise)."""
+        multi = self._memberships.get(int(idx))
+        if multi is not None:
+            return multi
+        label = int(self.labels[idx])
+        return () if label == NOISE else (label,)
+
+    def cluster_sizes(self) -> List[int]:
+        return [len(c) for c in self.clusters]
+
+    def core_points_of(self, cid: int) -> frozenset:
+        """The core points of cluster ``cid`` (the sets ``P(V_i)`` of Lemma 1)."""
+        return frozenset(i for i in self.clusters[cid] if self.core_mask[i])
+
+    # ------------------------------------------------------------ comparison
+
+    def same_clusters(self, other: "Clustering") -> bool:
+        """True iff both results denote exactly the same set of clusters.
+
+        This is the comparison used throughout Section 5.2 ("returned
+        exactly the same clusters as DBSCAN").
+        """
+        return self.n == other.n and set(self.clusters) == set(other.clusters)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Clustering):
+            return NotImplemented
+        return self.same_clusters(other) and np.array_equal(self.core_mask, other.core_mask)
+
+    def __hash__(self) -> int:  # results are value objects
+        return hash((self.n, self.clusters))
+
+    def __repr__(self) -> str:
+        algo = self.meta.get("algorithm", "?")
+        return (
+            f"Clustering(n={self.n}, clusters={self.n_clusters}, "
+            f"noise={int(self.noise_mask.sum())}, cores={int(self.core_mask.sum())}, "
+            f"algorithm={algo!r})"
+        )
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph description."""
+        sizes = self.cluster_sizes()
+        parts = [
+            f"{self.n_clusters} cluster(s) over {self.n} points",
+            f"{int(self.core_mask.sum())} core",
+            f"{int(self.border_mask.sum())} border",
+            f"{int(self.noise_mask.sum())} noise",
+        ]
+        if sizes:
+            parts.append(f"sizes={sizes}")
+        return "; ".join(parts)
+
+
+def build_clustering(
+    n: int,
+    core_mask: np.ndarray,
+    core_labels: np.ndarray,
+    border_memberships: Mapping[int, Iterable[int]],
+    meta: Mapping[str, object] | None = None,
+) -> Clustering:
+    """Assemble a :class:`Clustering` from the pieces every algorithm produces.
+
+    ``core_labels`` assigns every core point a dense component id in
+    ``0..k-1`` (values at non-core positions are ignored);
+    ``border_memberships`` maps border point index -> iterable of component
+    ids the point joins.
+    """
+    k = 0
+    clusters: List[set] = []
+    core_mask = np.asarray(core_mask, dtype=bool)
+    core_idx = np.nonzero(core_mask)[0]
+    if len(core_idx):
+        k = int(np.max(core_labels[core_idx])) + 1
+        clusters = [set() for _ in range(k)]
+        for i in core_idx:
+            clusters[int(core_labels[i])].add(int(i))
+    for idx, cids in border_memberships.items():
+        for cid in cids:
+            clusters[int(cid)].add(int(idx))
+    return Clustering(n, clusters, core_mask, meta=meta)

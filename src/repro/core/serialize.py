@@ -1,0 +1,113 @@
+"""Persistence for clustering results.
+
+Two formats:
+
+* **JSON** — human-readable, complete (clusters, core mask, meta);
+* **NPZ** — compact, for large results; reconstructs clusters from the
+  labels plus the multi-membership overflow table.
+
+Round-trips preserve cluster-set equality, core masks, and metadata
+(numpy values in ``meta`` are converted to plain Python on save).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.result import Clustering
+from repro.errors import DataError
+
+
+def _jsonable(value):
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def to_dict(result: Clustering) -> Dict:
+    """Plain-dict representation (the JSON schema)."""
+    return {
+        "format": "repro.clustering/v1",
+        "n": result.n,
+        "clusters": [sorted(c) for c in result.clusters],
+        "core_mask": result.core_mask.tolist(),
+        "meta": _jsonable(result.meta),
+    }
+
+
+def from_dict(payload: Dict) -> Clustering:
+    """Inverse of :func:`to_dict`."""
+    if payload.get("format") != "repro.clustering/v1":
+        raise DataError(f"unrecognised payload format: {payload.get('format')!r}")
+    return Clustering(
+        payload["n"],
+        [set(c) for c in payload["clusters"]],
+        np.asarray(payload["core_mask"], dtype=bool),
+        meta=payload.get("meta", {}),
+    )
+
+
+def save_clustering(result: Clustering, path: str) -> None:
+    """Save to ``.json`` or ``.npz`` (chosen by extension)."""
+    ext = os.path.splitext(path)[1].lower()
+    if ext == ".json":
+        with open(path, "w") as fh:
+            json.dump(to_dict(result), fh)
+        return
+    if ext == ".npz":
+        # Labels carry single memberships; the overflow arrays carry the
+        # extra (point, cluster) pairs of multi-membership border points.
+        overflow_pts: List[int] = []
+        overflow_cids: List[int] = []
+        for i in range(result.n):
+            for cid in result.memberships_of(i)[1:]:
+                overflow_pts.append(i)
+                overflow_cids.append(cid)
+        np.savez_compressed(
+            path,
+            labels=result.labels,
+            core_mask=result.core_mask,
+            overflow_points=np.asarray(overflow_pts, dtype=np.int64),
+            overflow_clusters=np.asarray(overflow_cids, dtype=np.int64),
+            meta=np.frombuffer(
+                json.dumps(_jsonable(result.meta)).encode(), dtype=np.uint8
+            ),
+        )
+        return
+    raise DataError(f"unsupported extension {ext!r}; use .json or .npz")
+
+
+def load_clustering(path: str) -> Clustering:
+    """Load a result saved by :func:`save_clustering`."""
+    if not os.path.exists(path):
+        raise DataError(f"no such file: {path}")
+    ext = os.path.splitext(path)[1].lower()
+    if ext == ".json":
+        with open(path) as fh:
+            return from_dict(json.load(fh))
+    if ext == ".npz":
+        with np.load(path) as data:
+            labels = data["labels"]
+            core_mask = data["core_mask"].astype(bool)
+            meta = json.loads(bytes(data["meta"]).decode()) if len(data["meta"]) else {}
+            n_clusters = int(labels.max()) + 1 if (labels >= 0).any() else 0
+            clusters = [set() for _ in range(n_clusters)]
+            for i, label in enumerate(labels):
+                if label >= 0:
+                    clusters[int(label)].add(int(i))
+            for i, cid in zip(data["overflow_points"], data["overflow_clusters"]):
+                clusters[int(cid)].add(int(i))
+            return Clustering(len(labels), clusters, core_mask, meta=meta)
+    raise DataError(f"unsupported extension {ext!r}; use .json or .npz")

@@ -1,0 +1,27 @@
+"""Data generation: the seed spreader, real-dataset stand-ins, 2D shapes, IO."""
+
+from repro.data.io import load_points, save_points
+from repro.data.real_like import (
+    REAL_LIKE_GENERATORS,
+    farm_like,
+    household_like,
+    pamap2_like,
+)
+from repro.data.seed_spreader import SeedSpreaderDataset, figure8_dataset, seed_spreader
+from repro.data.shapes import gaussian_blobs, rings, snakes, two_moons
+
+__all__ = [
+    "seed_spreader",
+    "figure8_dataset",
+    "SeedSpreaderDataset",
+    "pamap2_like",
+    "farm_like",
+    "household_like",
+    "REAL_LIKE_GENERATORS",
+    "two_moons",
+    "rings",
+    "snakes",
+    "gaussian_blobs",
+    "load_points",
+    "save_points",
+]

@@ -1,0 +1,34 @@
+"""Point-set persistence: a tiny CSV/NPY loader-saver used by the CLI."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.utils.validation import as_points
+
+
+def save_points(points: np.ndarray, path: str) -> None:
+    """Save a point set; format chosen by extension (.npy or .csv/.txt)."""
+    pts = as_points(points)
+    ext = os.path.splitext(path)[1].lower()
+    if ext == ".npy":
+        np.save(path, pts)
+    elif ext in (".csv", ".txt"):
+        np.savetxt(path, pts, delimiter=",", fmt="%.10g")
+    else:
+        raise DataError(f"unsupported extension {ext!r}; use .npy, .csv or .txt")
+
+
+def load_points(path: str) -> np.ndarray:
+    """Load a point set saved by :func:`save_points` (or compatible files)."""
+    if not os.path.exists(path):
+        raise DataError(f"no such file: {path}")
+    ext = os.path.splitext(path)[1].lower()
+    if ext == ".npy":
+        return as_points(np.load(path))
+    if ext in (".csv", ".txt"):
+        return as_points(np.loadtxt(path, delimiter=","))
+    raise DataError(f"unsupported extension {ext!r}; use .npy, .csv or .txt")

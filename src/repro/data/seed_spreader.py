@@ -1,0 +1,182 @@
+"""The seed-spreader synthetic generator (Section 5.1, Figure 8).
+
+A "random walk with restart": a spreader moves about ``[0, 1e5]^d`` and
+spits out points around its current location.
+
+* It carries a counter initialised to ``c_reset``; each step emits one
+  point uniformly in the ball of radius ``r_vicinity`` (100 in the paper)
+  around the current location and decrements the counter.
+* When the counter hits 0, the spreader shifts by ``r_shift`` (``50 d`` in
+  the paper) in a random direction and the counter resets.
+* Before every step, with probability ``p_restart`` the spreader jumps to
+  a uniformly random location (starting a new cluster); a restart is
+  forced on the first step.
+* After ``n (1 - f_noise)`` steps, ``n * f_noise`` uniform noise points
+  are appended.
+
+Defaults reproduce the paper: ``p_restart = 10 / (n (1 - f_noise))`` so
+that about 10 restarts (clusters) occur, and ``f_noise = 1e-4``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro import config
+from repro.errors import ParameterError
+from repro.utils.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class SeedSpreaderDataset:
+    """A generated dataset plus its ground-truth provenance.
+
+    ``restart_ids`` records, for each non-noise point, which restart
+    (i.e. intended cluster) produced it; noise points get ``-1``.  This is
+    generator provenance — DBSCAN may merge or split these groups
+    depending on ``eps``.
+    """
+
+    points: np.ndarray
+    restart_ids: np.ndarray
+    n_noise: int
+    params: dict = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        return len(self.points)
+
+    @property
+    def dim(self) -> int:
+        return self.points.shape[1]
+
+    @property
+    def n_restarts(self) -> int:
+        ids = self.restart_ids
+        return int(ids.max()) + 1 if len(ids) and ids.max() >= 0 else 0
+
+
+def seed_spreader(
+    n: int,
+    d: int,
+    *,
+    domain: float = config.DOMAIN_SIZE,
+    restart_probability: Optional[float] = None,
+    noise_fraction: float = config.SS_NOISE_FRACTION,
+    counter_reset: int = config.SS_COUNTER_RESET,
+    shift_radius: Optional[float] = None,
+    vicinity_radius: float = config.SS_VICINITY_RADIUS,
+    seed: SeedLike = None,
+) -> SeedSpreaderDataset:
+    """Generate a seed-spreader dataset with the paper's defaults.
+
+    Parameters
+    ----------
+    n:
+        Target cardinality (clustered points + noise).
+    d:
+        Dimensionality.
+    restart_probability:
+        Defaults to ``10 / (n (1 - noise_fraction))`` — about 10 restarts.
+    shift_radius:
+        Defaults to the paper's ``50 d``.
+    """
+    if n < 1:
+        raise ParameterError(f"n must be >= 1; got {n}")
+    if d < 1:
+        raise ParameterError(f"d must be >= 1; got {d}")
+    if not 0.0 <= noise_fraction < 1.0:
+        raise ParameterError(f"noise_fraction must be in [0, 1); got {noise_fraction}")
+    if counter_reset < 1:
+        raise ParameterError(f"counter_reset must be >= 1; got {counter_reset}")
+    rng = make_rng(seed)
+
+    n_noise = int(round(n * noise_fraction))
+    n_cluster = n - n_noise
+    if n_cluster < 1:
+        raise ParameterError("noise_fraction leaves no clustered points")
+    if restart_probability is None:
+        restart_probability = min(1.0, config.SS_EXPECTED_RESTARTS / n_cluster)
+    if shift_radius is None:
+        shift_radius = 50.0 * d
+
+    points = np.empty((n_cluster, d))
+    restart_ids = np.empty(n_cluster, dtype=np.int64)
+    location = np.zeros(d)
+    counter = 0
+    restart_id = -1
+
+    restart_draws = rng.uniform(size=n_cluster)
+    for step in range(n_cluster):
+        if step == 0 or restart_draws[step] < restart_probability:
+            location = rng.uniform(0.0, domain, size=d)
+            counter = counter_reset
+            restart_id += 1
+        if counter == 0:
+            location = location + _random_direction(rng, d) * shift_radius
+            counter = counter_reset
+        points[step] = location + _uniform_in_ball(rng, d) * vicinity_radius
+        restart_ids[step] = restart_id
+        counter -= 1
+
+    if n_noise:
+        noise = rng.uniform(0.0, domain, size=(n_noise, d))
+        points = np.vstack([points, noise])
+        restart_ids = np.concatenate([restart_ids, np.full(n_noise, -1, dtype=np.int64)])
+
+    return SeedSpreaderDataset(
+        points=points,
+        restart_ids=restart_ids,
+        n_noise=n_noise,
+        params={
+            "n": n,
+            "d": d,
+            "domain": domain,
+            "restart_probability": restart_probability,
+            "noise_fraction": noise_fraction,
+            "counter_reset": counter_reset,
+            "shift_radius": shift_radius,
+            "vicinity_radius": vicinity_radius,
+        },
+    )
+
+
+def figure8_dataset(seed: SeedLike = 8) -> SeedSpreaderDataset:
+    """The small 2D visualisation dataset of Figure 8 (n = 1000, 4 restarts).
+
+    The paper fixes n = 1000 and reports 4 restarts.  To reproduce the
+    figure's long snake-shaped clusters at this tiny cardinality, the
+    spreader shifts more often (``counter_reset = 10``) and farther
+    (``shift_radius = 2000``) than the large-scale defaults — with the
+    paper's defaults a 1000-point run moves at most a few hundred units
+    inside the 1e5-wide domain and every cluster degenerates to a dot.
+    """
+    return seed_spreader(
+        1000,
+        2,
+        restart_probability=4.0 / 1000.0,
+        noise_fraction=0.0,
+        counter_reset=10,
+        shift_radius=2000.0,
+        vicinity_radius=400.0,
+        seed=seed,
+    )
+
+
+def _random_direction(rng: np.random.Generator, d: int) -> np.ndarray:
+    """Uniform unit vector in R^d."""
+    while True:
+        v = rng.normal(size=d)
+        norm = np.linalg.norm(v)
+        if norm > 1e-12:
+            return v / norm
+
+
+def _uniform_in_ball(rng: np.random.Generator, d: int) -> np.ndarray:
+    """Uniform point in the d-dimensional unit ball."""
+    direction = _random_direction(rng, d)
+    radius = rng.uniform() ** (1.0 / d)
+    return direction * radius

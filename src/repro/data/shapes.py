@@ -1,0 +1,117 @@
+"""Classic 2D shape datasets for examples and tests.
+
+These mirror the paper's Figure 1 motivation: density-based clustering
+finds arbitrarily shaped clusters (snakes, rings, moons) where k-means-like
+methods fail.  All generators return ``(points, labels)`` where ``labels``
+is the generating component of each point (``-1`` for noise) — provenance,
+not a DBSCAN ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.utils.rng import SeedLike, make_rng
+
+
+def two_moons(
+    n: int,
+    noise: float = 0.05,
+    separation: float = 0.5,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The classic interleaved half-circles."""
+    if n < 2:
+        raise ParameterError("n must be >= 2")
+    rng = make_rng(seed)
+    n1 = n // 2
+    n2 = n - n1
+    t1 = rng.uniform(0, np.pi, size=n1)
+    t2 = rng.uniform(0, np.pi, size=n2)
+    upper = np.column_stack([np.cos(t1), np.sin(t1)])
+    lower = np.column_stack([1.0 - np.cos(t2), separation - np.sin(t2)])
+    pts = np.vstack([upper, lower]) + rng.normal(0, noise, size=(n, 2))
+    labels = np.concatenate([np.zeros(n1, dtype=np.int64), np.ones(n2, dtype=np.int64)])
+    return pts, labels
+
+
+def rings(
+    n: int,
+    radii: Tuple[float, ...] = (1.0, 2.0, 3.0),
+    noise: float = 0.04,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Concentric rings (the paper's right example of Figure 1 in spirit)."""
+    if n < len(radii):
+        raise ParameterError("n must be at least the number of rings")
+    rng = make_rng(seed)
+    per = np.full(len(radii), n // len(radii))
+    per[: n - per.sum()] += 1
+    pieces, labels = [], []
+    for k, (r, m) in enumerate(zip(radii, per)):
+        theta = rng.uniform(0, 2 * np.pi, size=m)
+        ring = np.column_stack([r * np.cos(theta), r * np.sin(theta)])
+        pieces.append(ring + rng.normal(0, noise, size=(m, 2)))
+        labels.append(np.full(m, k, dtype=np.int64))
+    return np.vstack(pieces), np.concatenate(labels)
+
+
+def gaussian_blobs(
+    n: int,
+    centers: np.ndarray,
+    spread: float = 1.0,
+    noise_fraction: float = 0.0,
+    domain: float = 20.0,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Isotropic Gaussian blobs plus optional uniform noise."""
+    centers = np.asarray(centers, dtype=np.float64)
+    if centers.ndim != 2:
+        raise ParameterError("centers must be (k, d)")
+    if not 0.0 <= noise_fraction < 1.0:
+        raise ParameterError("noise_fraction must be in [0, 1)")
+    rng = make_rng(seed)
+    n_noise = int(round(n * noise_fraction))
+    n_blob = n - n_noise
+    k, d = centers.shape
+    which = rng.integers(0, k, size=n_blob)
+    pts = centers[which] + rng.normal(0, spread, size=(n_blob, d))
+    labels = which.astype(np.int64)
+    if n_noise:
+        pts = np.vstack([pts, rng.uniform(0, domain, size=(n_noise, d))])
+        labels = np.concatenate([labels, np.full(n_noise, -1, dtype=np.int64)])
+    return pts, labels
+
+
+def snakes(
+    n: int,
+    n_snakes: int = 4,
+    length: float = 10.0,
+    thickness: float = 0.15,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Winding snake-shaped clusters (the paper's left example of Figure 1)."""
+    if n_snakes < 1:
+        raise ParameterError("n_snakes must be >= 1")
+    rng = make_rng(seed)
+    per = np.full(n_snakes, n // n_snakes)
+    per[: n - per.sum()] += 1
+    # One horizontal band per snake so the snakes wind but never touch
+    # (the paper's left Figure 1 shows four separate snakes).
+    band = 4.0
+    pieces, labels = [], []
+    for k in range(n_snakes):
+        m = int(per[k])
+        t = np.sort(rng.uniform(0, 1, size=m))
+        amp = rng.uniform(0.6, band / 2 - 4 * thickness)
+        freq = rng.uniform(1.5, 3.0)
+        phase = rng.uniform(0, 2 * np.pi)
+        x = rng.uniform(0, 2) + t * length
+        y = band * k + band / 2 + amp * np.sin(2 * np.pi * freq * t + phase)
+        pts = np.column_stack([x, y]) + rng.normal(0, thickness, size=(m, 2))
+        pieces.append(pts)
+        labels.append(np.full(m, k, dtype=np.int64))
+    return np.vstack(pieces), np.concatenate(labels)

@@ -1,0 +1,122 @@
+"""VZ (Varma-Zisserman) patch features and a tiny PCA.
+
+The paper's *Farm* dataset consists of the VZ-features of a satellite
+image of a farm: VZ-feature clustering — representing each pixel by the
+raw vector of intensities in the patch around it — is a standard approach
+to colour/texture segmentation (Varma & Zisserman, "Texture
+classification: are filter banks necessary?", CVPR 2003).
+
+We cannot ship the proprietary IKONOS image, so :mod:`repro.data.real_like`
+synthesises a multi-region textured image and runs it through the *same*
+feature pipeline implemented here: patch extraction followed by PCA down to
+the paper's 5 dimensions.  Only the raw pixels are synthetic; the feature
+code path is the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import DataError, ParameterError
+from repro.utils.rng import SeedLike, make_rng
+
+
+def synthetic_satellite_image(
+    height: int,
+    width: int,
+    n_regions: int = 8,
+    texture_scale: float = 0.08,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """A synthetic "satellite photo": Voronoi land-use regions with texture.
+
+    Returns an ``(height, width, 3)`` float array in ``[0, 1]``.  Each
+    region (field, road, water, ...) gets a base colour and a
+    characteristic oscillatory texture so that VZ features separate the
+    regions the way crop fields separate in the real image.
+    """
+    if height < 4 or width < 4:
+        raise ParameterError("image must be at least 4x4")
+    if n_regions < 2:
+        raise ParameterError("need at least 2 regions")
+    rng = make_rng(seed)
+    seeds_yx = rng.uniform(0, 1, size=(n_regions, 2)) * (height, width)
+    base_colors = rng.uniform(0.15, 0.85, size=(n_regions, 3))
+    tex_freq = rng.uniform(0.2, 1.2, size=n_regions)
+    tex_angle = rng.uniform(0, np.pi, size=n_regions)
+
+    ys, xs = np.mgrid[0:height, 0:width]
+    coords = np.stack([ys.ravel(), xs.ravel()], axis=1).astype(np.float64)
+    sq = ((coords[:, None, :] - seeds_yx[None, :, :]) ** 2).sum(axis=2)
+    region = np.argmin(sq, axis=1).reshape(height, width)
+
+    image = np.empty((height, width, 3))
+    for r in range(n_regions):
+        mask = region == r
+        if not mask.any():
+            continue
+        yy, xx = np.nonzero(mask)
+        phase = (np.cos(tex_angle[r]) * yy + np.sin(tex_angle[r]) * xx) * tex_freq[r]
+        texture = texture_scale * np.sin(phase)
+        image[yy, xx, :] = np.clip(base_colors[r][None, :] + texture[:, None], 0.0, 1.0)
+    image += rng.normal(0.0, 0.01, size=image.shape)  # sensor noise
+    return np.clip(image, 0.0, 1.0)
+
+
+def vz_features(image: np.ndarray, patch_size: int = 3) -> np.ndarray:
+    """Raw patch-vector features: one row per interior pixel.
+
+    Each feature is the concatenation of the ``patch_size x patch_size``
+    neighbourhood across all channels, giving
+    ``patch_size^2 * channels`` dimensions.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim == 2:
+        image = image[:, :, None]
+    if image.ndim != 3:
+        raise DataError("image must be (H, W) or (H, W, C)")
+    if patch_size < 1 or patch_size % 2 == 0:
+        raise ParameterError("patch_size must be a positive odd integer")
+    h, w, c = image.shape
+    half = patch_size // 2
+    if h < patch_size or w < patch_size:
+        raise DataError("image smaller than the patch")
+    rows = []
+    for dy in range(-half, half + 1):
+        for dx in range(-half, half + 1):
+            rows.append(
+                image[half + dy: h - half + dy, half + dx: w - half + dx, :]
+            )
+    stacked = np.concatenate(rows, axis=2)  # (h', w', patch^2 * c)
+    return stacked.reshape(-1, patch_size * patch_size * c)
+
+
+def pca(X: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Principal component analysis via SVD.
+
+    Returns ``(projected, components)`` where ``projected`` has shape
+    ``(n, k)`` and ``components`` has shape ``(k, d)``.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise DataError("PCA input must be 2-D")
+    k = int(k)
+    if not 1 <= k <= X.shape[1]:
+        raise ParameterError(f"k must be in [1, {X.shape[1]}]; got {k}")
+    centered = X - X.mean(axis=0)
+    # Economy SVD of the (possibly tall) matrix; components are right
+    # singular vectors.
+    _u, _s, vt = np.linalg.svd(centered, full_matrices=False)
+    components = vt[:k]
+    return centered @ components.T, components
+
+
+def rescale_to_domain(X: np.ndarray, domain: float) -> np.ndarray:
+    """Affinely map each column into ``[0, domain]`` (constant columns to 0)."""
+    X = np.asarray(X, dtype=np.float64)
+    lo = X.min(axis=0)
+    hi = X.max(axis=0)
+    span = np.where(hi > lo, hi - lo, 1.0)
+    return (X - lo) / span * domain

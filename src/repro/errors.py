@@ -1,0 +1,39 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting genuine programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An algorithm parameter is invalid (e.g. ``eps <= 0`` or ``min_pts < 1``)."""
+
+
+class DataError(ReproError, ValueError):
+    """The input point set is malformed (wrong shape, NaNs, empty, ...)."""
+
+
+class AlgorithmError(ReproError, RuntimeError):
+    """An algorithm reached an internal state that violates its invariants."""
+
+
+class TimeoutExceeded(ReproError, RuntimeError):
+    """A benchmark run exceeded its configured wall-clock budget.
+
+    Mirrors the paper's "did not terminate within 12 hours" markers for the
+    KDD96 / CIT08 baselines (Section 5.3).
+    """
+
+    def __init__(self, elapsed: float, budget: float) -> None:
+        super().__init__(
+            f"run exceeded its time budget: {elapsed:.2f}s elapsed > {budget:.2f}s allowed"
+        )
+        self.elapsed = elapsed
+        self.budget = budget

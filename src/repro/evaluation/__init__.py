@@ -1,0 +1,44 @@
+"""Evaluation machinery: comparison, legal-rho sweeps, collapse search, timing."""
+
+from repro.evaluation.ascii_chart import line_chart, sawtooth_chart
+from repro.evaluation.collapse import collapsing_radius
+from repro.evaluation.compare import (
+    adjusted_rand_index,
+    best_match_jaccard,
+    cluster_f1,
+    clusters_contained_in,
+    confusion_summary,
+    rand_index,
+    same_clusters,
+    sandwich_holds,
+)
+from repro.evaluation.legal_rho import (
+    LegalRhoPoint,
+    eps_sweep,
+    legal_rho_profile,
+    max_legal_rho,
+)
+from repro.evaluation.timing import DNF, TimedRun, format_table, speedup, timed
+
+__all__ = [
+    "same_clusters",
+    "clusters_contained_in",
+    "sandwich_holds",
+    "rand_index",
+    "adjusted_rand_index",
+    "best_match_jaccard",
+    "cluster_f1",
+    "confusion_summary",
+    "max_legal_rho",
+    "legal_rho_profile",
+    "LegalRhoPoint",
+    "eps_sweep",
+    "collapsing_radius",
+    "line_chart",
+    "sawtooth_chart",
+    "timed",
+    "TimedRun",
+    "DNF",
+    "format_table",
+    "speedup",
+]

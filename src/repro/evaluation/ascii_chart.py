@@ -1,0 +1,92 @@
+"""Text rendering of the paper's figure types.
+
+The paper's evaluation figures are log-scale time-vs-parameter line charts
+(Figures 11-13) and the sawtooth legal-rho plot (Figure 10).  Pure-text
+analogues let the benchmark harness print the *figures*, not just the
+tables, with no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+_MARKERS = "ox+*#@%&"
+
+
+def line_chart(
+    x: Sequence[float],
+    series: Dict[str, Sequence[Optional[float]]],
+    *,
+    width: int = 64,
+    height: int = 14,
+    logy: bool = True,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more series as an ASCII line chart.
+
+    ``None`` values (DNF runs) are skipped.  With ``logy`` the y axis is
+    log-scaled, matching the paper's plots.
+    """
+    xs = np.asarray(list(x), dtype=np.float64)
+    all_vals = [v for vs in series.values() for v in vs if v is not None and v > 0]
+    if not all_vals or len(xs) == 0:
+        return "(no data)"
+    lo, hi = min(all_vals), max(all_vals)
+    if logy:
+        lo, hi = np.log10(lo), np.log10(hi)
+    if hi <= lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    x_span = (x_hi - x_lo) or 1.0
+
+    legend = []
+    for (name, values), marker in zip(series.items(), _MARKERS):
+        legend.append(f"{marker} = {name}")
+        for xv, yv in zip(xs, values):
+            if yv is None or yv <= 0:
+                continue
+            y_norm = ((np.log10(yv) if logy else yv) - lo) / (hi - lo)
+            col = int((xv - x_lo) / x_span * (width - 1))
+            row = int((1.0 - y_norm) * (height - 1))
+            grid[min(max(row, 0), height - 1)][min(max(col, 0), width - 1)] = marker
+
+    top_label = f"{10 ** hi:.3g}s" if logy else f"{hi:.3g}"
+    bottom_label = f"{10 ** lo:.3g}s" if logy else f"{lo:.3g}"
+    lines = [f"{y_label} (top={top_label}, bottom={bottom_label}, log y)" if logy
+             else f"{y_label} (top={top_label}, bottom={bottom_label})"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_lo:g} .. {x_hi:g}    {'   '.join(legend)}")
+    return "\n".join(lines)
+
+
+def sawtooth_chart(
+    eps_values: Sequence[float],
+    legal_rho: Sequence[float],
+    *,
+    rho_top: float = 0.1,
+    width: int = 64,
+    height: int = 10,
+) -> str:
+    """Render a Figure 10-style maximum-legal-rho sawtooth."""
+    xs = np.asarray(list(eps_values), dtype=np.float64)
+    ys = np.clip(np.asarray(list(legal_rho), dtype=np.float64), 0.0, rho_top)
+    if len(xs) == 0:
+        return "(no data)"
+    grid = [[" "] * width for _ in range(height)]
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    x_span = (x_hi - x_lo) or 1.0
+    for xv, yv in zip(xs, ys):
+        col = int((xv - x_lo) / x_span * (width - 1))
+        row = int((1.0 - yv / rho_top) * (height - 1))
+        grid[min(max(row, 0), height - 1)][col] = "*"
+    lines = [f"max legal rho (top={rho_top:g}, bottom=0)"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f" eps: {x_lo:g} .. {x_hi:g}")
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Collapsing radius (Section 5.1).
+
+"Every dataset has a unique collapsing radius, which is the smallest eps
+such that exact DBSCAN returns a single cluster."  The paper sweeps eps
+from 5000 up to this value in every experiment, so the benchmark harness
+needs to compute it.
+
+The number of clusters is not formally monotone in eps (growing eps can
+promote noise into new clusters before everything merges), so the binary
+search below is a heuristic for the crossing point; pass ``verify_steps``
+to refine the bracket with a linear scan near the answer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.algorithms.exact_grid import exact_grid_dbscan
+from repro.errors import ParameterError
+
+ClusterCounter = Callable[[np.ndarray, float, int], int]
+
+
+def _default_counter(points: np.ndarray, eps: float, min_pts: int) -> int:
+    return exact_grid_dbscan(points, eps, min_pts).n_clusters
+
+
+def collapsing_radius(
+    points: np.ndarray,
+    min_pts: int,
+    *,
+    lo: float = 1.0,
+    hi: Optional[float] = None,
+    rel_tol: float = 0.01,
+    counter: ClusterCounter = _default_counter,
+    verify_steps: int = 0,
+) -> float:
+    """Smallest eps (within ``rel_tol``) at which DBSCAN yields one cluster.
+
+    Raises :class:`~repro.errors.ParameterError` when no radius can
+    collapse the dataset (``n < min_pts``: no point can ever be core).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if len(points) < min_pts:
+        raise ParameterError(
+            f"dataset of {len(points)} points can never produce a cluster with "
+            f"min_pts={min_pts}"
+        )
+    if hi is None:
+        span = points.max(axis=0) - points.min(axis=0)
+        hi = float(np.linalg.norm(span)) + 1.0
+    if counter(points, hi, min_pts) != 1:
+        # With eps >= diameter every point is core and in one cluster, so
+        # this only triggers for degenerate counters.
+        raise ParameterError("upper bound does not collapse the dataset")
+    if counter(points, lo, min_pts) == 1:
+        return lo
+
+    while hi - lo > rel_tol * hi:
+        mid = 0.5 * (lo + hi)
+        if counter(points, mid, min_pts) == 1:
+            hi = mid
+        else:
+            lo = mid
+
+    if verify_steps > 0:
+        # Walk downwards from `hi` to guard against non-monotonicity.
+        for eps in np.linspace(hi, lo, verify_steps + 1):
+            if counter(points, float(eps), min_pts) != 1:
+                break
+            hi = float(eps)
+    return hi

@@ -1,0 +1,169 @@
+"""Comparing clustering results.
+
+The paper's quality experiments (Section 5.2) hinge on one question — did
+rho-approximate DBSCAN return *exactly the same clusters* as DBSCAN? —
+plus the containment relations of the sandwich theorem.  This module
+implements those, and adds the Rand / Adjusted Rand indexes for graded
+similarity reporting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.result import Clustering
+from repro.errors import DataError
+
+
+def same_clusters(a: Clustering, b: Clustering) -> bool:
+    """Exact cluster-set equality (the Section 5.2 criterion)."""
+    return a.same_clusters(b)
+
+
+def clusters_contained_in(inner: Clustering, outer: Clustering) -> bool:
+    """True iff every cluster of ``inner`` is a subset of some cluster of ``outer``.
+
+    With ``inner`` = exact DBSCAN(eps) and ``outer`` = a rho-approximate
+    result, this is Statement 1 of the sandwich theorem; with ``inner`` =
+    the approximate result and ``outer`` = exact DBSCAN(eps(1+rho)), it is
+    Statement 2.
+    """
+    if inner.n != outer.n:
+        raise DataError("results must cover the same point set")
+    for cluster in inner.clusters:
+        anchor = next(iter(cluster))
+        if not any(
+            anchor in candidate and cluster <= candidate
+            for candidate in outer.clusters
+        ):
+            return False
+    return True
+
+
+def sandwich_holds(exact_eps: Clustering, approx: Clustering, exact_inflated: Clustering) -> bool:
+    """Both statements of Theorem 3 at once."""
+    return clusters_contained_in(exact_eps, approx) and clusters_contained_in(
+        approx, exact_inflated
+    )
+
+
+def _comparison_labels(result: Clustering) -> np.ndarray:
+    """Primary labels with each noise point as its own singleton cluster."""
+    labels = result.labels.copy()
+    noise = labels == -1
+    if noise.any():
+        fresh = np.arange(int(noise.sum())) + (labels.max(initial=-1) + 1)
+        labels[noise] = fresh
+    return labels
+
+
+def _pair_counts(a: Clustering, b: Clustering):
+    if a.n != b.n:
+        raise DataError("results must cover the same point set")
+    la = _comparison_labels(a)
+    lb = _comparison_labels(b)
+    # Contingency table via pair encoding.
+    _, ia = np.unique(la, return_inverse=True)
+    _, ib = np.unique(lb, return_inverse=True)
+    pair = ia.astype(np.int64) * (ib.max() + 1) + ib
+    _, counts = np.unique(pair, return_counts=True)
+    _, counts_a = np.unique(ia, return_counts=True)
+    _, counts_b = np.unique(ib, return_counts=True)
+
+    def comb2(x):
+        x = x.astype(np.float64)
+        return (x * (x - 1) / 2.0).sum()
+
+    return comb2(counts), comb2(counts_a), comb2(counts_b), a.n * (a.n - 1) / 2.0
+
+
+def rand_index(a: Clustering, b: Clustering) -> float:
+    """Rand index over primary labels (noise points as singletons)."""
+    nij, ni, nj, total = _pair_counts(a, b)
+    if total == 0:
+        return 1.0
+    agreements = total + 2 * nij - ni - nj
+    return float(agreements / total)
+
+
+def adjusted_rand_index(a: Clustering, b: Clustering) -> float:
+    """Adjusted Rand index (Hubert & Arabie) over primary labels."""
+    nij, ni, nj, total = _pair_counts(a, b)
+    if total == 0:
+        return 1.0
+    expected = ni * nj / total
+    maximum = (ni + nj) / 2.0
+    if maximum == expected:
+        return 1.0
+    return float((nij - expected) / (maximum - expected))
+
+
+def best_match_jaccard(a: Clustering, b: Clustering) -> float:
+    """Mean best-match Jaccard similarity between the two cluster sets.
+
+    For each cluster of ``a``, its best Jaccard overlap with any cluster
+    of ``b``; averaged symmetrically over both directions.  1.0 iff the
+    cluster sets are identical; degrades gracefully under small
+    membership perturbations (unlike the exact equality test).
+    """
+    if a.n != b.n:
+        raise DataError("results must cover the same point set")
+    if not a.clusters and not b.clusters:
+        return 1.0
+    if not a.clusters or not b.clusters:
+        return 0.0
+
+    def one_way(src, dst):
+        total = 0.0
+        for cluster in src:
+            best = 0.0
+            for candidate in dst:
+                inter = len(cluster & candidate)
+                if inter:
+                    union = len(cluster | candidate)
+                    best = max(best, inter / union)
+            total += best
+        return total / len(src)
+
+    return 0.5 * (one_way(a.clusters, b.clusters) + one_way(b.clusters, a.clusters))
+
+
+def cluster_f1(a: Clustering, b: Clustering, threshold: float = 0.5) -> float:
+    """Cluster-level F1: a cluster "matches" when some counterpart shares
+    more than ``threshold`` Jaccard overlap.
+
+    Precision = matched fraction of ``a``'s clusters, recall = matched
+    fraction of ``b``'s; the harmonic mean is returned (1.0 for identical
+    sets, 0.0 when nothing overlaps).
+    """
+    if a.n != b.n:
+        raise DataError("results must cover the same point set")
+    if not a.clusters and not b.clusters:
+        return 1.0
+    if not a.clusters or not b.clusters:
+        return 0.0
+
+    def matched(src, dst):
+        hits = 0
+        for cluster in src:
+            for candidate in dst:
+                inter = len(cluster & candidate)
+                if inter and inter / len(cluster | candidate) > threshold:
+                    hits += 1
+                    break
+        return hits / len(src)
+
+    precision = matched(a.clusters, b.clusters)
+    recall = matched(b.clusters, a.clusters)
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def confusion_summary(a: Clustering, b: Clustering) -> str:
+    """One-line comparison used by benchmark printouts."""
+    flag = "SAME" if same_clusters(a, b) else "DIFFERENT"
+    return (
+        f"{flag}: {a.n_clusters} vs {b.n_clusters} clusters, "
+        f"ARI={adjusted_rand_index(a, b):.4f}"
+    )

@@ -1,0 +1,73 @@
+"""Maximum legal rho (the Figure 10 methodology).
+
+For a dataset and a radius ``eps``, the *maximum legal rho* is the largest
+``rho`` under which rho-approximate DBSCAN returns exactly the same
+clusters as exact DBSCAN (Section 5.2, "All Dimensionalities — A Sawtooth
+View").  The paper evaluates it over the rho grid of Table 1; since
+legality need not be monotone in ``rho``, we scan the grid from the top
+and return the largest grid value that passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import config
+from repro.algorithms.approx import approx_dbscan
+from repro.algorithms.exact_grid import exact_grid_dbscan
+from repro.core.result import Clustering
+
+
+@dataclass(frozen=True)
+class LegalRhoPoint:
+    """One sample of the Figure 10 curves."""
+
+    eps: float
+    max_legal_rho: float  # 0.0 if no grid value is legal
+    n_clusters_exact: int
+
+
+def max_legal_rho(
+    points: np.ndarray,
+    eps: float,
+    min_pts: int,
+    rho_grid: Sequence[float] = config.PAPER_RHO_GRID,
+    exact: Optional[Clustering] = None,
+) -> float:
+    """Largest rho in ``rho_grid`` whose approximate result equals DBSCAN's.
+
+    Returns ``0.0`` when even the smallest grid value changes the clusters
+    (the paper's sawtooth valleys — an *unstable* eps).
+    """
+    if exact is None:
+        exact = exact_grid_dbscan(points, eps, min_pts)
+    for rho in sorted(rho_grid, reverse=True):
+        approx = approx_dbscan(points, eps, min_pts, rho=rho)
+        if approx.same_clusters(exact):
+            return float(rho)
+    return 0.0
+
+
+def legal_rho_profile(
+    points: np.ndarray,
+    eps_values: Sequence[float],
+    min_pts: int,
+    rho_grid: Sequence[float] = config.PAPER_RHO_GRID,
+) -> Tuple[LegalRhoPoint, ...]:
+    """The full sawtooth curve: maximum legal rho at each eps."""
+    out = []
+    for eps in eps_values:
+        exact = exact_grid_dbscan(points, float(eps), min_pts)
+        rho = max_legal_rho(points, float(eps), min_pts, rho_grid, exact=exact)
+        out.append(LegalRhoPoint(float(eps), rho, exact.n_clusters))
+    return tuple(out)
+
+
+def eps_sweep(eps_min: float, eps_max: float, n_steps: int) -> np.ndarray:
+    """Evenly spaced eps values from ``eps_min`` to ``eps_max`` inclusive."""
+    if n_steps < 2:
+        return np.array([eps_min], dtype=np.float64)
+    return np.linspace(eps_min, eps_max, n_steps)

@@ -1,0 +1,203 @@
+"""A self-contained experiment battery with a markdown report.
+
+``python -m repro.evaluation.report [output.md]`` runs a quick version of
+every headline experiment (scaled to finish in a couple of minutes) and
+writes a paper-vs-measured markdown table.  The full benchmark harness in
+``benchmarks/`` remains the authoritative reproduction; this module exists
+so that a user can regenerate an EXPERIMENTS-style summary with one
+command and no pytest invocation.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable, List
+
+import numpy as np
+
+from repro import approx_dbscan, dbscan
+from repro.data import figure8_dataset, seed_spreader
+from repro.evaluation.compare import sandwich_holds
+from repro.evaluation.legal_rho import max_legal_rho
+from repro.hardness import random_instance, usec_brute, usec_via_dbscan
+
+
+@dataclass
+class Check:
+    """One verified claim: experiment id, the paper's expectation, what we
+    measured, and whether the shape holds."""
+
+    experiment: str
+    expectation: str
+    measured: str
+    holds: bool
+
+
+def _figure9() -> Check:
+    ds = figure8_dataset()
+    eps = 7000.0
+    exact = dbscan(ds.points, eps, 20)
+    same = all(
+        approx_dbscan(ds.points, eps, 20, rho=rho).same_clusters(exact)
+        for rho in (0.001, 0.01, 0.1)
+    )
+    return Check(
+        "Figure 9 (quality grid)",
+        "approx clusters == exact clusters at stable radii for all rho",
+        f"{exact.n_clusters} clusters; all three rho values identical: {same}",
+        same,
+    )
+
+
+def _figure10() -> Check:
+    points = seed_spreader(2000, 3, seed=10).points
+    rho = max_legal_rho(points, 5000.0, 10, (0.001, 0.01, 0.1))
+    return Check(
+        "Figure 10 (max legal rho)",
+        "max legal rho >= 0.001 at typical eps",
+        f"max legal rho at eps=5000: {rho:g}",
+        rho >= 0.001,
+    )
+
+
+def _figure11() -> Check:
+    points = seed_spreader(4000, 3, seed=11).points
+    t0 = perf_counter()
+    dbscan(points, 5000.0, 10, algorithm="kdd96")
+    t_kdd = perf_counter() - t0
+    t0 = perf_counter()
+    approx_dbscan(points, 5000.0, 10, rho=0.001)
+    t_approx = perf_counter() - t0
+    factor = t_kdd / max(t_approx, 1e-9)
+    return Check(
+        "Figure 11 (time vs n)",
+        "OurApprox beats KDD96 by a large factor",
+        f"KDD96 {t_kdd:.2f}s vs OurApprox {t_approx:.3f}s ({factor:.0f}x)",
+        factor > 2,
+    )
+
+
+def _figure12() -> Check:
+    points = seed_spreader(2000, 3, seed=12).points
+    slow_small = _time(lambda: dbscan(points, 5000.0, 10, algorithm="cit08"))
+    slow_large = _time(lambda: dbscan(points, 40000.0, 10, algorithm="cit08"))
+    return Check(
+        "Figure 12 (time vs eps)",
+        "expansion baselines slow down as eps grows",
+        f"CIT08: {slow_small:.2f}s at eps=5000, {slow_large:.2f}s at eps=40000",
+        slow_large >= slow_small * 0.8,
+    )
+
+
+def _figure13() -> Check:
+    points = seed_spreader(4000, 3, seed=13).points
+    t_small = _time(lambda: approx_dbscan(points, 5000.0, 10, rho=0.001))
+    t_large = _time(lambda: approx_dbscan(points, 5000.0, 10, rho=0.1))
+    return Check(
+        "Figure 13 (time vs rho)",
+        "larger rho never dramatically slower",
+        f"rho=0.001: {t_small:.3f}s, rho=0.1: {t_large:.3f}s",
+        t_large <= t_small * 2 + 0.05,
+    )
+
+
+def _theorem2() -> Check:
+    ns = (1000, 4000)
+    grid_t, brute_t = [], []
+    for n in ns:
+        points = seed_spreader(n, 3, seed=14).points
+        grid_t.append(_time(lambda: dbscan(points, 5000.0, 10)))
+        brute_t.append(_time(lambda: dbscan(points, 5000.0, 10, algorithm="brute")))
+    sub_quadratic = grid_t[1] < brute_t[1]
+    return Check(
+        "Theorem 2 (exact, subquadratic)",
+        "grid+BCP beats the O(n^2) reference",
+        f"n=4000: grid {grid_t[1]:.3f}s vs brute {brute_t[1]:.2f}s",
+        sub_quadratic,
+    )
+
+
+def _theorem3() -> Check:
+    rng = np.random.default_rng(15)
+    points = rng.uniform(0, 30, size=(600, 3))
+    eps, min_pts, rho = 2.0, 5, 0.3
+    approx = approx_dbscan(points, eps, min_pts, rho=rho)
+    exact = dbscan(points, eps, min_pts, algorithm="brute")
+    inflated = dbscan(points, eps * (1 + rho), min_pts, algorithm="brute")
+    holds = sandwich_holds(exact, approx, inflated)
+    return Check(
+        "Theorem 3 (sandwich)",
+        "exact(eps) subset-of approx subset-of exact(eps(1+rho))",
+        f"containments verified on uniform 3D data: {holds}",
+        holds,
+    )
+
+
+def _lemma4() -> Check:
+    agree = all(
+        usec_via_dbscan(
+            random_instance(200, 100, 3, radius=8000.0, domain=100_000.0, seed=s),
+            lambda P, e, m: dbscan(P, e, m),
+        )
+        == usec_brute(random_instance(200, 100, 3, radius=8000.0,
+                                      domain=100_000.0, seed=s))
+        for s in range(5)
+    )
+    return Check(
+        "Lemma 4 (USEC reduction)",
+        "USEC via DBSCAN == brute USEC on every instance",
+        f"5/5 random instances agree: {agree}",
+        agree,
+    )
+
+
+def _time(fn: Callable[[], object]) -> float:
+    start = perf_counter()
+    fn()
+    return perf_counter() - start
+
+
+ALL_CHECKS = (
+    _figure9, _figure10, _figure11, _figure12, _figure13,
+    _theorem2, _theorem3, _lemma4,
+)
+
+
+def run_battery() -> List[Check]:
+    """Run every quick check and return the records."""
+    return [check() for check in ALL_CHECKS]
+
+
+def render_markdown(checks: List[Check]) -> str:
+    lines = [
+        "# Experiment battery (quick run)",
+        "",
+        "Generated by `python -m repro.evaluation.report`.  The full",
+        "reproduction lives in `benchmarks/` (see EXPERIMENTS.md).",
+        "",
+        "| experiment | paper expectation | measured | holds |",
+        "|---|---|---|---|",
+    ]
+    for c in checks:
+        flag = "yes" if c.holds else "**NO**"
+        lines.append(f"| {c.experiment} | {c.expectation} | {c.measured} | {flag} |")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    checks = run_battery()
+    text = render_markdown(checks)
+    if argv:
+        with open(argv[0], "w") as fh:
+            fh.write(text)
+        print(f"wrote {argv[0]}")
+    else:
+        print(text)
+    return 0 if all(c.holds for c in checks) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Timing harness for the efficiency experiments (Section 5.3).
+
+Runs algorithm callables under a wall-clock budget, records outcomes
+(including "did not finish", the reproduction's analogue of the paper's
+12-hour cut-off), and renders aligned text tables so every benchmark can
+print paper-style rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import TimeoutExceeded
+
+#: Marker used in tables when a run exceeded its budget.
+DNF = "DNF"
+
+
+@dataclass
+class TimedRun:
+    """Outcome of one timed algorithm execution."""
+
+    label: str
+    seconds: Optional[float]  # None when the run did not finish
+    result: object = None
+    note: str = ""
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        return self.seconds is not None
+
+    def cell(self) -> str:
+        """Table-cell rendering: seconds or the DNF marker."""
+        return f"{self.seconds:.3f}" if self.finished else DNF
+
+
+def timed(label: str, fn: Callable[[], object], budget: Optional[float] = None) -> TimedRun:
+    """Execute ``fn`` and record its wall-clock time.
+
+    A :class:`~repro.errors.TimeoutExceeded` raised by the callable is
+    recorded as a DNF rather than propagated; any other exception
+    propagates (a benchmark bug should fail loudly).
+    """
+    start = perf_counter()
+    try:
+        result = fn()
+    except TimeoutExceeded as exc:
+        return TimedRun(label, None, note=str(exc))
+    return TimedRun(label, perf_counter() - start, result=result)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def speedup(baseline: TimedRun, contender: TimedRun) -> Optional[float]:
+    """``baseline_time / contender_time`` when both finished, else None."""
+    if not (baseline.finished and contender.finished) or contender.seconds == 0:
+        return None
+    return baseline.seconds / contender.seconds
+
+
+def geometric_growth(values: List[float]) -> List[float]:
+    """Successive ratios ``v[i+1] / v[i]`` — used to eyeball growth exponents."""
+    return [b / a for a, b in zip(values, values[1:]) if a > 0]

@@ -1,0 +1,38 @@
+"""Extensions beyond the SIGMOD'15 paper.
+
+* stability profiling over eps (the OPTICS-flavoured Figure 6 discussion);
+* a full OPTICS implementation with DBSCAN extraction;
+* the TODS'17 fully-approximate variant (approximate core labeling);
+* a k-means baseline for the Figure 1 arbitrary-shapes claim.
+"""
+
+from repro.extensions.approx_cores import approx_core_mask, approx_dbscan_full
+from repro.extensions.kmeans import KMeansResult, kmeans, purity
+from repro.extensions.optics import (
+    OPTICSResult,
+    extract_dbscan,
+    optics,
+    reachability_profile,
+)
+from repro.extensions.stability import (
+    Plateau,
+    cluster_count_profile,
+    plateaus,
+    suggest_eps,
+)
+
+__all__ = [
+    "approx_dbscan_full",
+    "approx_core_mask",
+    "cluster_count_profile",
+    "plateaus",
+    "suggest_eps",
+    "Plateau",
+    "optics",
+    "extract_dbscan",
+    "reachability_profile",
+    "OPTICSResult",
+    "kmeans",
+    "purity",
+    "KMeansResult",
+]

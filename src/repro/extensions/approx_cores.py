@@ -1,0 +1,71 @@
+"""Fully-approximate DBSCAN: approximate core determination as well.
+
+The SIGMOD'15 algorithm keeps Definition 1 exact — core status is decided
+with true eps-ball counts — and only approximates the core-cell graph.
+The journal version of this work (Gan & Tao, TODS 2017) additionally lets
+the *core test itself* use an approximate count, which removes the last
+non-Lemma-5 distance computations from the pipeline.
+
+Here a point is labeled core when an approximate range count (Lemma 5
+structure over the whole dataset) reaches ``MinPts``.  The count lies in
+``[|B(p, eps)|, |B(p, eps(1+rho))|]``, so
+
+* every exact core point stays core, and
+* every reported core point is a core point of DBSCAN(eps(1+rho)).
+
+Consequently the output is still sandwiched between exact DBSCAN at eps
+and at eps(1+rho) — the Theorem 3 guarantee survives with both
+relaxations, which the property tests verify.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.border import assign_borders
+from repro.core.cellgraph import approx_components
+from repro.core.params import ApproxParams
+from repro.core.result import Clustering, build_clustering
+from repro.grid.cells import Grid
+from repro.grid.hierarchy import CountingHierarchy
+from repro.utils.validation import as_points
+
+
+def approx_core_mask(points: np.ndarray, eps: float, min_pts: int, rho: float) -> np.ndarray:
+    """Approximate core labeling via one whole-dataset Lemma 5 structure."""
+    structure = CountingHierarchy(points, eps, rho)
+    mask = np.empty(len(points), dtype=bool)
+    for i, p in enumerate(points):
+        mask[i] = structure.count(p) >= min_pts
+    return mask
+
+
+def approx_dbscan_full(
+    points,
+    eps: float,
+    min_pts: int,
+    rho: float = 0.001,
+) -> Clustering:
+    """rho-approximate DBSCAN with approximate core determination.
+
+    Same pipeline as :func:`repro.algorithms.approx.approx_dbscan`, with
+    the exact labeling process replaced by :func:`approx_core_mask`.
+    """
+    params = ApproxParams(eps, min_pts, rho)
+    pts = as_points(points)
+    core_mask = approx_core_mask(pts, params.eps, params.min_pts, params.rho)
+    grid = Grid(pts, params.eps)
+    core_labels, _k = approx_components(grid, core_mask, params.rho)
+    borders = assign_borders(grid, core_mask, core_labels)
+    return build_clustering(
+        len(pts),
+        core_mask,
+        core_labels,
+        borders,
+        meta={
+            "algorithm": "approx_full",
+            "eps": params.eps,
+            "min_pts": params.min_pts,
+            "rho": params.rho,
+        },
+    )

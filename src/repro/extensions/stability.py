@@ -1,0 +1,99 @@
+"""Cluster-stability profiling over eps (an OPTICS-flavoured extension).
+
+Section 4.2 and Figure 6 of the paper discuss how the "right" eps is one
+whose clustering is insensitive to small perturbation: an eps sitting just
+below a merge distance is a *bad* parameter (their epsilon_3), and the
+OPTICS paper is cited for the view that sweeping eps exposes the cluster
+structure at all granularities.
+
+This module operationalises that discussion: sweep eps, record the number
+of clusters, extract the plateaus (maximal eps ranges with a constant
+cluster count), and recommend the midpoint of a long plateau — a stable
+parameter for which rho-approximate DBSCAN provably matches exact DBSCAN
+for every rho below the plateau's relative width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms.approx import approx_dbscan
+from repro.errors import ParameterError
+
+ClusterCounter = Callable[[np.ndarray, float, int], int]
+
+
+def _default_counter(points: np.ndarray, eps: float, min_pts: int) -> int:
+    # The sweep only needs cluster counts, so the linear-time approximate
+    # algorithm with a tiny rho is the right engine.
+    return approx_dbscan(points, eps, min_pts, rho=0.001).n_clusters
+
+
+@dataclass(frozen=True)
+class Plateau:
+    """A maximal eps range over which the cluster count is constant."""
+
+    eps_lo: float
+    eps_hi: float
+    n_clusters: int
+
+    @property
+    def relative_width(self) -> float:
+        """``(hi - lo) / lo`` — the rho head-room this plateau offers."""
+        return (self.eps_hi - self.eps_lo) / self.eps_lo if self.eps_lo > 0 else np.inf
+
+    @property
+    def midpoint(self) -> float:
+        return 0.5 * (self.eps_lo + self.eps_hi)
+
+
+def cluster_count_profile(
+    points: np.ndarray,
+    min_pts: int,
+    eps_values: Sequence[float],
+    counter: ClusterCounter = _default_counter,
+) -> Tuple[Tuple[float, int], ...]:
+    """``(eps, n_clusters)`` along the sweep."""
+    if len(eps_values) == 0:
+        raise ParameterError("eps_values must be non-empty")
+    return tuple(
+        (float(eps), counter(points, float(eps), min_pts)) for eps in eps_values
+    )
+
+
+def plateaus(profile: Sequence[Tuple[float, int]]) -> Tuple[Plateau, ...]:
+    """Merge consecutive sweep samples with equal cluster counts."""
+    out = []
+    start = 0
+    for i in range(1, len(profile) + 1):
+        if i == len(profile) or profile[i][1] != profile[start][1]:
+            out.append(
+                Plateau(profile[start][0], profile[i - 1][0], profile[start][1])
+            )
+            start = i
+    return tuple(out)
+
+
+def suggest_eps(
+    points: np.ndarray,
+    min_pts: int,
+    eps_values: Sequence[float],
+    *,
+    min_clusters: int = 2,
+    counter: ClusterCounter = _default_counter,
+) -> Optional[Plateau]:
+    """The widest plateau with at least ``min_clusters`` clusters, or None.
+
+    Its midpoint is a stable eps: by the sandwich theorem, rho-approximate
+    DBSCAN there returns the exact clusters for any
+    ``rho < plateau.relative_width / 2`` (the inflated radius stays inside
+    the plateau).
+    """
+    profile = cluster_count_profile(points, min_pts, eps_values, counter=counter)
+    candidates = [p for p in plateaus(profile) if p.n_clusters >= min_clusters]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda p: p.eps_hi - p.eps_lo)

@@ -1,0 +1,6 @@
+"""Geometric primitives: distance kernels and bichromatic closest pair."""
+
+from repro.geometry.bcp import BCPResult, bcp, bcp_within
+from repro.geometry.distance import dist, sq_dist
+
+__all__ = ["bcp", "bcp_within", "BCPResult", "dist", "sq_dist"]

@@ -1,0 +1,231 @@
+"""2D Delaunay triangulation and Voronoi-based nearest neighbour.
+
+Gunawan's 2D algorithm (Section 2.2) answers the nearest-neighbour queries
+of its edge computation "after building a Voronoi diagram for each core
+cell".  This module supplies that substrate:
+
+* :class:`Delaunay2D` — incremental Bowyer-Watson triangulation (the dual
+  of the Voronoi diagram);
+* :class:`VoronoiNN` — exact nearest-neighbour queries by greedy walking
+  on the Delaunay graph: repeatedly step to any neighbour closer to the
+  query; on a Delaunay triangulation the walk can only stop at the true
+  nearest vertex.
+
+The implementation favours clarity and robustness over asymptotics: point
+insertion scans all triangles for the bad-circumcircle set, giving
+O(n) per insertion (O(n^2) total).  The paper's usage is per *core cell*,
+where point counts are modest; the library's general-purpose kd-tree
+remains the default for large inputs.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.geometry import distance as dm
+
+Triangle = Tuple[int, int, int]
+
+
+def _incircle_det(pa, pb, pc, pd) -> float:
+    """Float in-circle determinant (positive = pd inside, for CCW abc)."""
+    ax, ay = pa[0] - pd[0], pa[1] - pd[1]
+    bx, by = pb[0] - pd[0], pb[1] - pd[1]
+    cx, cy = pc[0] - pd[0], pc[1] - pd[1]
+    return (
+        (ax * ax + ay * ay) * (bx * cy - by * cx)
+        - (bx * bx + by * by) * (ax * cy - ay * cx)
+        + (cx * cx + cy * cy) * (ax * by - ay * bx)
+    )
+
+
+def _incircle_det_exact(pa, pb, pc, pd) -> float:
+    """Exact-sign in-circle determinant via rational arithmetic."""
+    ax, ay = Fraction(float(pa[0])) - Fraction(float(pd[0])), Fraction(float(pa[1])) - Fraction(float(pd[1]))
+    bx, by = Fraction(float(pb[0])) - Fraction(float(pd[0])), Fraction(float(pb[1])) - Fraction(float(pd[1]))
+    cx, cy = Fraction(float(pc[0])) - Fraction(float(pd[0])), Fraction(float(pc[1])) - Fraction(float(pd[1]))
+    det = (
+        (ax * ax + ay * ay) * (bx * cy - by * cx)
+        - (bx * bx + by * by) * (ax * cy - ay * cx)
+        + (cx * cx + cy * cy) * (ax * by - ay * bx)
+    )
+    return -1.0 if det < 0 else (1.0 if det > 0 else 0.0)
+
+
+def _orient_det(pa, pb, pc) -> float:
+    return (pb[0] - pa[0]) * (pc[1] - pa[1]) - (pb[1] - pa[1]) * (pc[0] - pa[0])
+
+
+def _orient_det_exact(pa, pb, pc) -> float:
+    det = (
+        (Fraction(float(pb[0])) - Fraction(float(pa[0])))
+        * (Fraction(float(pc[1])) - Fraction(float(pa[1])))
+        - (Fraction(float(pb[1])) - Fraction(float(pa[1])))
+        * (Fraction(float(pc[0])) - Fraction(float(pa[0])))
+    )
+    return -1.0 if det < 0 else (1.0 if det > 0 else 0.0)
+
+
+class Delaunay2D:
+    """Delaunay triangulation of a 2D point set (Bowyer-Watson).
+
+    Duplicate points are collapsed onto their first occurrence; perfectly
+    collinear inputs degenerate to an edge path (handled by keeping the
+    super-triangle during construction).
+    """
+
+    def __init__(self, points: np.ndarray) -> None:
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != 2:
+            raise DataError("Delaunay2D requires an (n, 2) array")
+        if len(points) == 0:
+            raise DataError("Delaunay2D requires at least one point")
+        self.points = points
+        self._dedupe()
+        self._build()
+
+    def _dedupe(self) -> None:
+        # Collapse points closer than float comparisons can resolve: two
+        # vertices separated by less than ~1e-12 of the bounding-box scale
+        # would create distance "plateaus" the greedy NN walk cannot cross.
+        extent = float(np.max(self.points.max(axis=0) - self.points.min(axis=0)))
+        scale = max(extent, float(np.abs(self.points).max()), 1e-300)
+        quantum = scale * 1e-12
+        seen: Dict[Tuple[int, int], int] = {}
+        alias = np.empty(len(self.points), dtype=np.int64)
+        order: List[int] = []
+        for i, (x, y) in enumerate(self.points):
+            key = (int(round(float(x) / quantum)), int(round(float(y) / quantum)))
+            if key in seen:
+                alias[i] = seen[key]
+            else:
+                seen[key] = i
+                alias[i] = i
+                order.append(i)
+        self.alias = alias           #: representative index per input point
+        self._distinct = order       # indices of distinct points
+
+    def _build(self) -> None:
+        pts = self.points
+        distinct = self._distinct
+        # Super-triangle comfortably containing everything.
+        lo = pts[distinct].min(axis=0)
+        hi = pts[distinct].max(axis=0)
+        center = (lo + hi) / 2.0
+        radius = max(float(np.max(hi - lo)), 1.0) * 16.0
+        n = len(pts)
+        super_pts = np.array([
+            [center[0] - 2 * radius, center[1] - radius],
+            [center[0] + 2 * radius, center[1] - radius],
+            [center[0], center[1] + 2 * radius],
+        ])
+        self._all = np.vstack([pts, super_pts])
+        s0, s1, s2 = n, n + 1, n + 2
+
+        triangles: Set[FrozenSet[int]] = {frozenset((s0, s1, s2))}
+        for i in distinct:
+            bad = [t for t in triangles if self._in_circumcircle(t, i)]
+            # Boundary of the bad-triangle cavity: edges appearing once.
+            edge_count: Dict[FrozenSet[int], int] = {}
+            for tri in bad:
+                a, b, c = sorted(tri)
+                for edge in (frozenset((a, b)), frozenset((b, c)), frozenset((a, c))):
+                    edge_count[edge] = edge_count.get(edge, 0) + 1
+            triangles.difference_update(bad)
+            for edge, count in edge_count.items():
+                if count == 1:
+                    triangles.add(frozenset(edge | {i}))
+
+        # Drop triangles touching the super-vertices.
+        supers = {s0, s1, s2}
+        self._triangles: List[Triangle] = [
+            tuple(sorted(t)) for t in triangles if not (t & supers)
+        ]
+        # Vertex adjacency over real points; keep super-edges out but make
+        # sure hull points remain connected through real triangles.
+        adj: Dict[int, Set[int]] = {i: set() for i in distinct}
+        for t in triangles:
+            real = sorted(t - supers)
+            for a in real:
+                for b in real:
+                    if a != b:
+                        adj[a].add(b)
+        self._adjacency = adj
+
+    def _in_circumcircle(self, tri: FrozenSet[int], i: int) -> bool:
+        a, b, c = tri
+        pa, pb, pc = self._all[a], self._all[b], self._all[c]
+        pd = self._all[i]
+        det = _incircle_det(pa, pb, pc, pd)
+        # Adaptive exactness: when the float determinant sits inside its
+        # roundoff band, redo the computation in exact rational arithmetic
+        # (Python floats convert to Fractions losslessly).
+        scale = max(
+            abs(pa[0] - pd[0]), abs(pa[1] - pd[1]),
+            abs(pb[0] - pd[0]), abs(pb[1] - pd[1]),
+            abs(pc[0] - pd[0]), abs(pc[1] - pd[1]), 1e-300,
+        )
+        if abs(det) <= 1e-12 * scale ** 4:
+            det = _incircle_det_exact(pa, pb, pc, pd)
+        orientation = _orient_det(pa, pb, pc)
+        if abs(orientation) <= 1e-12 * scale ** 2:
+            orientation = _orient_det_exact(pa, pb, pc)
+        if orientation < 0:
+            det = -det
+        return det > 0
+
+    @property
+    def triangles(self) -> List[Triangle]:
+        """Triangles over the real (non-super) vertices."""
+        return list(self._triangles)
+
+    def neighbors(self, i: int) -> Set[int]:
+        """Delaunay-adjacent distinct vertices of point ``i``."""
+        return self._adjacency[int(self.alias[i])]
+
+
+class VoronoiNN:
+    """Exact nearest-neighbour queries via greedy Delaunay walking."""
+
+    def __init__(self, points: np.ndarray) -> None:
+        self._delaunay = Delaunay2D(points)
+        self.points = self._delaunay.points
+        self._start = int(self._delaunay.alias[0])
+        # Fewer than 3 distinct points, or a fully collinear set, leaves no
+        # real triangles; fall back to a scan there.
+        self._degenerate = not self._delaunay._triangles
+
+    def nearest(self, q: np.ndarray) -> Tuple[int, float]:
+        """Return ``(index, squared_distance)`` of the closest point to ``q``.
+
+        Greedy walk: from the current vertex move to any Delaunay
+        neighbour strictly closer to ``q``; a vertex with no closer
+        neighbour is the global nearest (a classical Delaunay property).
+        """
+        q = np.asarray(q, dtype=np.float64)
+        pts = self.points
+        if self._degenerate:
+            sq = dm.sq_dists_to_point(pts, q)
+            idx = int(np.argmin(sq))
+            return idx, float(sq[idx])
+        current = self._start
+        current_sq = dm.sq_dist(pts[current], q)
+        improved = True
+        while improved:
+            improved = False
+            for nb in self._delaunay.neighbors(current):
+                sq = dm.sq_dist(pts[nb], q)
+                if sq < current_sq:
+                    current, current_sq = nb, sq
+                    improved = True
+                    break
+        return current, current_sq
+
+    def nearest_within(self, q: np.ndarray, eps: float) -> bool:
+        """True iff the nearest point lies within ``eps`` of ``q``."""
+        _idx, sq = self.nearest(q)
+        return sq <= eps * eps * (1.0 + 1e-12)

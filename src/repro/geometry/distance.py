@@ -1,0 +1,94 @@
+"""Euclidean distance kernels.
+
+Every distance computation in the library goes through this module.  All
+comparisons against the DBSCAN radius use *squared* distances to avoid
+square roots; public helpers expose both squared and true distances.
+
+The pairwise kernels are vectorised with numpy and chunked so that a query
+against a large block never materialises an oversized intermediate matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+#: Number of matrix entries a single chunk of a pairwise computation may hold.
+_CHUNK_BUDGET = 4_000_000
+
+
+def sq_dist(p: np.ndarray, q: np.ndarray) -> float:
+    """Squared Euclidean distance between two points."""
+    diff = np.asarray(p, dtype=np.float64) - np.asarray(q, dtype=np.float64)
+    return float(np.dot(diff, diff))
+
+
+def dist(p: np.ndarray, q: np.ndarray) -> float:
+    """Euclidean distance between two points."""
+    return float(np.sqrt(sq_dist(p, q)))
+
+
+def sq_dists_to_point(points: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Squared distances from every row of ``points`` to the point ``q``."""
+    diff = points - q
+    return np.einsum("ij,ij->i", diff, diff)
+
+
+def pairwise_sq_dists(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Full ``(len(a), len(b))`` matrix of squared distances.
+
+    Uses the expanded form ``|a|^2 + |b|^2 - 2 a.b`` which is much faster
+    than broadcasting differences for moderate sizes, with a clip to guard
+    against tiny negative values from floating-point cancellation.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    a_sq = np.einsum("ij,ij->i", a, a)
+    b_sq = np.einsum("ij,ij->i", b, b)
+    out = a_sq[:, None] + b_sq[None, :] - 2.0 * (a @ b.T)
+    np.maximum(out, 0.0, out=out)
+    return out
+
+
+def iter_chunked_sq_dists(
+    a: np.ndarray, b: np.ndarray
+) -> Iterator[Tuple[slice, np.ndarray]]:
+    """Yield ``(row_slice, block)`` pairs covering the pairwise matrix of a x b.
+
+    Each ``block`` is the squared-distance sub-matrix for the rows of ``a``
+    selected by ``row_slice`` against all of ``b``.  Memory stays bounded by
+    the module chunk budget regardless of input sizes.
+    """
+    rows = max(1, _CHUNK_BUDGET // max(1, len(b)))
+    for start in range(0, len(a), rows):
+        stop = min(start + rows, len(a))
+        yield slice(start, stop), pairwise_sq_dists(a[start:stop], b)
+
+
+def count_within(a: np.ndarray, b: np.ndarray, radius: float) -> np.ndarray:
+    """For each row of ``a``, the number of rows of ``b`` within ``radius``."""
+    limit = radius * radius
+    counts = np.empty(len(a), dtype=np.int64)
+    for rows, block in iter_chunked_sq_dists(a, b):
+        counts[rows] = (block <= limit).sum(axis=1)
+    return counts
+
+
+def any_within(a: np.ndarray, b: np.ndarray, radius: float) -> bool:
+    """True iff some pair ``(a_i, b_j)`` lies within ``radius``."""
+    limit = radius * radius
+    for _rows, block in iter_chunked_sq_dists(a, b):
+        if (block <= limit).any():
+            return True
+    return False
+
+
+def min_sq_dist_between(a: np.ndarray, b: np.ndarray) -> float:
+    """Smallest squared distance over all pairs ``(a_i, b_j)``."""
+    best = np.inf
+    for _rows, block in iter_chunked_sq_dists(a, b):
+        block_min = block.min()
+        if block_min < best:
+            best = float(block_min)
+    return best

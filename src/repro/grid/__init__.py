@@ -1,0 +1,6 @@
+"""Grid substrates: the cell grid T and the Lemma 5 counting hierarchy."""
+
+from repro.grid.cells import Grid, default_side, neighbor_offsets
+from repro.grid.hierarchy import CountingHierarchy
+
+__all__ = ["Grid", "CountingHierarchy", "default_side", "neighbor_offsets"]

@@ -1,0 +1,243 @@
+"""The d-dimensional grid ``T`` underlying the paper's algorithms.
+
+Sections 2.2 / 3.2 / 4.4 all impose a grid on the data space whose cells are
+hyper-squares with side length ``eps / sqrt(d)``.  Two facts drive every use:
+
+* any two points in the same cell are within distance ``eps`` of each other;
+* a point's eps-ball can only reach points in the cell's *eps-neighbour*
+  cells — cells whose minimum box distance to it is at most ``eps`` — and
+  there are only ``O((sqrt(d)+2)^d) = O(1)`` of those for fixed ``d``
+  (21 in 2D, as the paper notes).
+
+:class:`Grid` maps points to integer cell coordinates, groups point indices
+per non-empty cell, and enumerates eps-neighbour cells via a cached offset
+table shared across instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+CellCoord = Tuple[int, ...]
+
+#: Cache of neighbour-offset tables keyed by ``(d, reach, ratio_key)``.
+_OFFSET_CACHE: Dict[Tuple[int, int, int], np.ndarray] = {}
+
+
+def default_side(eps: float, d: int) -> float:
+    """The paper's cell side length ``eps / sqrt(d)``."""
+    return eps / np.sqrt(d)
+
+
+def neighbor_offsets(eps: float, side: float, d: int) -> np.ndarray:
+    """Integer offsets ``o`` such that cells ``c`` and ``c + o`` can contain a
+    pair of points within distance ``eps``.
+
+    A cell at offset ``o`` has a minimum box-to-box gap of
+    ``max(|o_i| - 1, 0) * side`` along axis ``i``; the offset qualifies iff
+    the Euclidean combination of those gaps is at most ``eps``.  The zero
+    offset (the cell itself) is included.
+    """
+    if side <= 0:
+        raise ParameterError(f"grid side must be positive; got {side}")
+    reach = int(np.floor(eps / side)) + 1
+    # side/eps is almost always 1/sqrt(d); key the cache on a fine rounding
+    # of the ratio so custom sides do not collide.
+    ratio_key = int(round(side / eps * 1e9))
+    cache_key = (d, reach, ratio_key)
+    cached = _OFFSET_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+
+    axes = [np.arange(-reach, reach + 1)] * d
+    mesh = np.meshgrid(*axes, indexing="ij")
+    offsets = np.stack([m.ravel() for m in mesh], axis=1)
+    gaps = np.maximum(np.abs(offsets) - 1, 0) * side
+    ok = np.einsum("ij,ij->i", gaps, gaps) <= eps * eps + 1e-9 * eps * eps
+    result = offsets[ok]
+    _OFFSET_CACHE[cache_key] = result
+    return result
+
+
+class Grid:
+    """A grid over a point set, with per-cell point groups.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, d)``.
+    eps:
+        The DBSCAN radius; determines neighbour reach.
+    side:
+        Cell side length.  Defaults to ``eps / sqrt(d)`` (the paper's
+        choice, which guarantees same-cell pairs are within ``eps``).
+    """
+
+    def __init__(self, points: np.ndarray, eps: float, side: float | None = None) -> None:
+        points = np.asarray(points, dtype=np.float64)
+        if eps <= 0:
+            raise ParameterError(f"eps must be positive; got {eps}")
+        d = points.shape[1]
+        self.points = points
+        self.eps = float(eps)
+        self.side = float(side) if side is not None else default_side(eps, d)
+        if self.side <= 0:
+            raise ParameterError(f"side must be positive; got {self.side}")
+        self.dim = d
+
+        coords = np.floor(points / self.side).astype(np.int64)
+        self.point_cells = coords
+        self._cells: Dict[CellCoord, np.ndarray] = _group_by_rows(coords)
+        self._offsets = neighbor_offsets(self.eps, self.side, d)
+        # In high dimensions the offset table explodes (~257k entries for
+        # d = 7, ~1.6k for d = 4) and per-cell enumeration costs
+        # |cells| * |offsets| dictionary probes per pass; when that beats
+        # the one-off cost of a (chunked, vectorised) all-pairs
+        # box-distance computation, build the full adjacency map instead.
+        # Built lazily on first neighbour query.
+        self._adjacency: Dict[CellCoord, List[CellCoord]] | None = None
+        m = len(self._cells)
+        probe_cost = len(self._offsets) * m
+        self._use_allpairs = (
+            len(self._offsets) > 4 * max(m, 64)
+            or (probe_cost > 1_000_000 and m <= 60_000)
+        )
+
+    # ------------------------------------------------------------- inspection
+
+    def __len__(self) -> int:
+        """Number of non-empty cells."""
+        return len(self._cells)
+
+    def __contains__(self, cell: CellCoord) -> bool:
+        return tuple(cell) in self._cells
+
+    @property
+    def cells(self) -> Dict[CellCoord, np.ndarray]:
+        """Mapping of non-empty cell coordinate -> array of point indices."""
+        return self._cells
+
+    def cell_of(self, i: int) -> CellCoord:
+        """Cell coordinate of point ``i``."""
+        return tuple(int(c) for c in self.point_cells[i])
+
+    def points_in(self, cell: CellCoord) -> np.ndarray:
+        """Indices of the points covered by ``cell`` (empty array if none)."""
+        return self._cells.get(tuple(cell), _EMPTY_IDX)
+
+    # ------------------------------------------------------------- neighbours
+
+    def _ensure_adjacency(self) -> Dict[CellCoord, List[CellCoord]]:
+        """Build the full cell-adjacency map by all-pairs box tests."""
+        if self._adjacency is not None:
+            return self._adjacency
+        keys = list(self._cells.keys())
+        coords = np.asarray(keys, dtype=np.int64).reshape(len(keys), self.dim)
+        m = len(keys)
+        limit = self.eps * self.eps * (1.0 + 1e-9)
+        adjacency: Dict[CellCoord, List[CellCoord]] = {key: [] for key in keys}
+        chunk = max(1, 2_000_000 // max(m * self.dim, 1))
+        for start in range(0, m, chunk):
+            block = coords[start:start + chunk]
+            gaps = (np.maximum(np.abs(block[:, None, :] - coords[None, :, :]) - 1, 0)
+                    * self.side)
+            ok = np.einsum("bmd,bmd->bm", gaps, gaps) <= limit
+            for bi in range(len(block)):
+                i = start + bi
+                adjacency[keys[i]] = [keys[j] for j in np.nonzero(ok[bi])[0] if j != i]
+        self._adjacency = adjacency
+        return adjacency
+
+    def neighbor_cells(self, cell: CellCoord, *, include_self: bool = False) -> Iterator[CellCoord]:
+        """Yield the non-empty eps-neighbour cells of ``cell``.
+
+        The guarantee is one-sided, as in the paper: every cell that could
+        hold a point within ``eps`` of a point of ``cell`` is yielded; a
+        yielded cell may still turn out to hold no qualifying point.
+        """
+        cell = tuple(cell)
+        if self._use_allpairs and cell in self._cells:
+            if include_self:
+                yield cell
+            yield from self._ensure_adjacency()[cell]
+            return
+        base = np.asarray(cell, dtype=np.int64)
+        cells = self._cells
+        for off in self._offsets:
+            if not include_self and not off.any():
+                continue
+            other = tuple((base + off).tolist())
+            if other in cells:
+                yield other
+
+    def neighbor_points(self, cell: CellCoord, *, include_self: bool = False) -> np.ndarray:
+        """Indices of all points in the eps-neighbour cells of ``cell``."""
+        blocks = [self.points_in(c) for c in self.neighbor_cells(cell, include_self=include_self)]
+        if not blocks:
+            return _EMPTY_IDX
+        return np.concatenate(blocks)
+
+    def neighbor_cell_pairs(self, subset=None) -> Iterator[Tuple[CellCoord, CellCoord]]:
+        """Yield each unordered pair of distinct eps-neighbour cells once.
+
+        ``subset`` optionally restricts both endpoints to a collection of
+        cells (e.g. the core cells when building the graph ``G``).
+        Deduplication uses the lexicographic order of the offset vector, so
+        the pair ``(c, c + o)`` is emitted only for positive offsets.
+        """
+        allowed = None if subset is None else set(map(tuple, subset))
+        pool = self._cells if allowed is None else allowed
+        cells = self._cells
+        if self._use_allpairs:
+            adjacency = self._ensure_adjacency()
+            seen = set()
+            for cell in pool:
+                if cell not in cells:
+                    continue
+                for other in adjacency[cell]:
+                    if allowed is not None and other not in allowed:
+                        continue
+                    pair = (cell, other) if cell < other else (other, cell)
+                    if pair not in seen:
+                        seen.add(pair)
+                        yield pair
+            return
+        positive = [off for off in self._offsets if _is_positive(off)]
+        for cell in pool:
+            if cell not in cells:
+                continue
+            base = np.asarray(cell, dtype=np.int64)
+            for off in positive:
+                other = tuple((base + off).tolist())
+                if other in cells and (allowed is None or other in allowed):
+                    yield cell, other
+
+
+def _is_positive(off: np.ndarray) -> bool:
+    """Lexicographically positive offsets select one direction per pair."""
+    for v in off:
+        if v > 0:
+            return True
+        if v < 0:
+            return False
+    return False
+
+
+def _group_by_rows(coords: np.ndarray) -> Dict[CellCoord, np.ndarray]:
+    """Group row indices of an integer matrix by identical rows."""
+    order = np.lexsort(coords.T[::-1])
+    sorted_coords = coords[order]
+    change = np.any(sorted_coords[1:] != sorted_coords[:-1], axis=1)
+    boundaries = np.concatenate([[0], np.nonzero(change)[0] + 1, [len(coords)]])
+    groups: Dict[CellCoord, np.ndarray] = {}
+    for a, b in zip(boundaries[:-1], boundaries[1:]):
+        key = tuple(int(v) for v in sorted_coords[a])
+        groups[key] = np.sort(order[a:b])
+    return groups
+
+
+_EMPTY_IDX = np.empty(0, dtype=np.int64)

@@ -1,0 +1,37 @@
+"""Executable hardness machinery: USEC, Hopcroft's problem, and Lemma 4."""
+
+from repro.hardness.hopcroft import (
+    Circle,
+    HopcroftInstance,
+    Line,
+    Plane3D,
+    hopcroft_brute,
+    hopcroft_exact_int,
+    lift_circle,
+    lift_incidence,
+    lift_point,
+)
+from repro.hardness.usec import (
+    USECInstance,
+    planted_instance,
+    random_instance,
+    usec_brute,
+    usec_via_dbscan,
+)
+
+__all__ = [
+    "USECInstance",
+    "usec_brute",
+    "usec_via_dbscan",
+    "random_instance",
+    "planted_instance",
+    "HopcroftInstance",
+    "Line",
+    "Circle",
+    "Plane3D",
+    "hopcroft_brute",
+    "hopcroft_exact_int",
+    "lift_point",
+    "lift_circle",
+    "lift_incidence",
+]

@@ -1,0 +1,235 @@
+"""Hopcroft's problem — the root of the paper's lower-bound chain.
+
+**Hopcroft's problem**: given points and lines in the plane, decide whether
+any point lies on any line (Section 2.3).  It is widely believed to require
+``Ω(n^{4/3})`` time; Erickson proved that bound for a broad class of
+algorithms, and proved that USEC in dimension ``d >= 5`` is *Hopcroft hard*
+(Lemma 3).  Chained with Lemma 4 this yields Theorem 1: a DBSCAN algorithm
+beating ``n^{4/3}`` for ``d >= 5`` would crack Hopcroft's problem.
+
+This module supplies instance types and brute-force deciders (the baselines
+a sub-``n^{4/3}`` algorithm would have to beat), plus
+:func:`lift_incidence` — the classical *lifting map* that turns
+point-on-circle questions into point-on-plane questions.  The lifting map
+is the geometric heart of the equivalence between "flat" incidence problems
+(Hopcroft) and "spherical" ones (USEC); the full Erickson reduction
+additionally needs infinitesimal algebraic perturbations that no
+floating-point implementation can honour, so the asymptotic transfer lives
+in the cited papers while the code preserves — and the tests verify — the
+exact geometric identity underneath it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.utils.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class Line:
+    """The line ``a*x + b*y + c = 0`` (not both ``a`` and ``b`` zero)."""
+
+    a: float
+    b: float
+    c: float
+
+    def __post_init__(self) -> None:
+        if self.a == 0 and self.b == 0:
+            raise DataError("a line needs a non-zero normal vector")
+
+    def evaluate(self, x: float, y: float) -> float:
+        return self.a * x + self.b * y + self.c
+
+    def contains(self, x: float, y: float, tol: float = 0.0) -> bool:
+        value = self.evaluate(x, y)
+        scale = max(abs(self.a), abs(self.b), abs(self.c), 1.0)
+        return abs(value) <= tol * scale
+
+
+@dataclass(frozen=True)
+class HopcroftInstance:
+    """Points and lines in the plane."""
+
+    points: np.ndarray  # (n, 2)
+    lines: Tuple[Line, ...]
+
+    def __post_init__(self) -> None:
+        points = np.asarray(self.points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != 2:
+            raise DataError("Hopcroft points must have shape (n, 2)")
+        object.__setattr__(self, "points", points)
+        object.__setattr__(self, "lines", tuple(self.lines))
+
+    @property
+    def size(self) -> int:
+        return len(self.points) + len(self.lines)
+
+
+def hopcroft_brute(instance: HopcroftInstance, tol: float = 1e-9) -> bool:
+    """Decide incidence by checking every point/line pair.
+
+    Floating-point instances need a relative tolerance; pass ``tol=0`` for
+    instances constructed with exactly representable coordinates.
+    """
+    pts = instance.points
+    for line in instance.lines:
+        values = line.a * pts[:, 0] + line.b * pts[:, 1] + line.c
+        scale = max(abs(line.a), abs(line.b), abs(line.c), 1.0)
+        if (np.abs(values) <= tol * scale).any():
+            return True
+    return False
+
+
+def hopcroft_exact_int(
+    points: Sequence[Tuple[int, int]],
+    lines: Sequence[Tuple[int, int, int]],
+) -> bool:
+    """Exact incidence for integer points/lines via rational arithmetic."""
+    for a, b, c in lines:
+        fa, fb, fc = Fraction(a), Fraction(b), Fraction(c)
+        for x, y in points:
+            if fa * x + fb * y + fc == 0:
+                return True
+    return False
+
+
+# --------------------------------------------------------------------------
+# The lifting map: circles <-> planes
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Circle:
+    """The circle with centre ``(cx, cy)`` and radius ``r > 0``."""
+
+    cx: float
+    cy: float
+    r: float
+
+    def __post_init__(self) -> None:
+        if self.r <= 0:
+            raise DataError("circle radius must be positive")
+
+    def contains_on_boundary(self, x: float, y: float, tol: float = 0.0) -> bool:
+        value = (x - self.cx) ** 2 + (y - self.cy) ** 2 - self.r * self.r
+        scale = max(self.r * self.r, 1.0)
+        return abs(value) <= tol * scale
+
+
+@dataclass(frozen=True)
+class Plane3D:
+    """The plane ``u*x + v*y + w*z + t = 0`` in 3D."""
+
+    u: float
+    v: float
+    w: float
+    t: float
+
+    def evaluate(self, p) -> float:
+        return self.u * p[0] + self.v * p[1] + self.w * p[2] + self.t
+
+
+def lift_point(x: float, y: float) -> Tuple[float, float, float]:
+    """The lifting map ``(x, y) -> (x, y, x^2 + y^2)`` onto the paraboloid."""
+    return (x, y, x * x + y * y)
+
+
+def lift_circle(circle: Circle) -> Plane3D:
+    """Image of a circle under the lifting map.
+
+    Expanding ``(x-cx)^2 + (y-cy)^2 = r^2`` with ``z = x^2 + y^2`` gives
+    ``z - 2*cx*x - 2*cy*y + (cx^2 + cy^2 - r^2) = 0`` — a plane.  A point
+    lies **on** the circle iff its lift lies **on** the plane (and inside
+    the disk iff the lift lies below it), which is the exact identity that
+    lets spherical incidence problems trade places with flat ones.
+    """
+    return Plane3D(
+        u=-2.0 * circle.cx,
+        v=-2.0 * circle.cy,
+        w=1.0,
+        t=circle.cx * circle.cx + circle.cy * circle.cy - circle.r * circle.r,
+    )
+
+
+def lift_incidence(
+    points: np.ndarray, circles: Sequence[Circle]
+) -> Tuple[np.ndarray, List[Plane3D]]:
+    """Lift a point-on-circle instance to a point-on-plane instance in 3D.
+
+    Returns the lifted points (shape ``(n, 3)``) and planes; for every pair
+    ``(i, j)``: point ``i`` is on circle ``j``  <=>  lifted point ``i`` is
+    on plane ``j`` (an exact algebraic identity, verified in the tests with
+    rational arithmetic).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise DataError("points must have shape (n, 2)")
+    lifted = np.column_stack([points[:, 0], points[:, 1], (points ** 2).sum(axis=1)])
+    planes = [lift_circle(c) for c in circles]
+    return lifted, planes
+
+
+# --------------------------------------------------------------------------
+# Instance generators
+# --------------------------------------------------------------------------
+
+def random_instance(
+    n_points: int,
+    n_lines: int,
+    *,
+    incident: bool,
+    domain: float = 100.0,
+    seed: SeedLike = None,
+) -> HopcroftInstance:
+    """Random instance with a planted answer.
+
+    ``incident=True`` plants one exact incidence (integer coordinates so
+    floating point cannot lose it); ``incident=False`` nudges every point
+    off every line onto half-integer coordinates, which integer lines
+    cannot hit.
+    """
+    rng = make_rng(seed)
+    pts = rng.integers(-int(domain), int(domain), size=(n_points, 2)).astype(np.float64)
+    lines = []
+    for _i in range(n_lines):
+        a, b = 0, 0
+        while a == 0 and b == 0:
+            a, b = int(rng.integers(-9, 10)), int(rng.integers(-9, 10))
+        c = int(rng.integers(-int(domain), int(domain)))
+        lines.append(Line(float(a), float(b), float(c)))
+    if incident:
+        line = lines[int(rng.integers(0, n_lines))]
+        # An integer-friendly point on the line a x + b y + c = 0.
+        if line.b != 0:
+            x = float(int(rng.integers(-10, 11)) * int(line.b))
+            y = -(line.a * x + line.c) / line.b
+        else:
+            y = float(int(rng.integers(-10, 11)))
+            x = -(line.b * y + line.c) / line.a
+        pts[int(rng.integers(0, n_points))] = (x, y)
+        return HopcroftInstance(pts, tuple(lines))
+    # Ensure a strict no-instance: re-perturb any point whose residual
+    # against some line is not comfortably positive.
+    instance = HopcroftInstance(pts, tuple(lines))
+    while True:
+        residuals = _residual_matrix(instance)
+        bad = np.nonzero(residuals.min(axis=1) < 1e-6)[0]
+        if len(bad) == 0:
+            return instance
+        pts[bad] += rng.uniform(0.25, 0.75, size=(len(bad), 2))
+        instance = HopcroftInstance(pts, tuple(lines))
+
+
+def _residual_matrix(instance: HopcroftInstance) -> np.ndarray:
+    """|a x + b y + c| / hypot(a, b) for every (point, line) pair."""
+    pts = instance.points
+    out = np.empty((len(pts), len(instance.lines)))
+    for j, line in enumerate(instance.lines):
+        norm = float(np.hypot(line.a, line.b))
+        out[:, j] = np.abs(line.a * pts[:, 0] + line.b * pts[:, 1] + line.c) / norm
+    return out

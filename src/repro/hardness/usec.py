@@ -1,0 +1,142 @@
+"""The USEC problem and the Lemma 4 reduction to DBSCAN.
+
+**Unit-Spherical Emptiness Checking (USEC)**: given a set of points
+``S_pt`` and a set of balls ``S_ball`` of identical radius in ``R^d``,
+decide whether any point is covered by any ball (Section 2.3).
+
+USEC in 3D is widely believed to require ``Ω(n^{4/3})`` time, and for
+``d >= 5`` it is Hopcroft hard (Lemma 3, Erickson).  Lemma 4 of the paper
+turns any DBSCAN algorithm into a USEC solver at ``O(n)`` extra cost:
+
+1. let ``P`` be the union of ``S_pt`` and the ball centres;
+2. run DBSCAN on ``P`` with ``eps`` = the balls' radius and ``MinPts = 1``;
+3. answer *yes* iff some point of ``S_pt`` shares a cluster with some
+   centre.
+
+This module makes the reduction executable: :func:`usec_via_dbscan` wires
+an arbitrary DBSCAN implementation through the reduction, and
+:func:`usec_brute` is the obvious quadratic oracle the tests compare
+against.  Together they constitute a machine-checked proof-of-concept of
+Theorem 1's reduction direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.result import Clustering
+from repro.errors import DataError, ParameterError
+from repro.geometry import distance as dm
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.validation import as_points
+
+#: Type of the DBSCAN black box ``A`` of Lemma 4.
+DBSCANSolver = Callable[[np.ndarray, float, int], Clustering]
+
+
+@dataclass(frozen=True)
+class USECInstance:
+    """A USEC instance: query points, equal-radius ball centres, the radius."""
+
+    points: np.ndarray
+    centers: np.ndarray
+    radius: float
+
+    def __post_init__(self) -> None:
+        points = as_points(self.points)
+        centers = as_points(self.centers)
+        if points.shape[1] != centers.shape[1]:
+            raise DataError("points and centers must share dimensionality")
+        if self.radius <= 0:
+            raise ParameterError(f"radius must be positive; got {self.radius}")
+        object.__setattr__(self, "points", points)
+        object.__setattr__(self, "centers", centers)
+
+    @property
+    def size(self) -> int:
+        """The instance size ``n = |S_pt| + |S_ball|``."""
+        return len(self.points) + len(self.centers)
+
+
+def usec_brute(instance: USECInstance) -> bool:
+    """Quadratic USEC oracle: check all point/ball pairs directly."""
+    return dm.any_within(instance.points, instance.centers, instance.radius)
+
+
+def usec_via_dbscan(instance: USECInstance, solver: DBSCANSolver) -> bool:
+    """Solve USEC through the Lemma 4 reduction with ``solver`` as the black box.
+
+    The black box must solve the exact DBSCAN problem (Problem 1); the
+    reduction then answers USEC in ``T(n) + O(n)`` total time.
+    """
+    merged = np.vstack([instance.points, instance.centers])
+    clustering = solver(merged, instance.radius, 1)
+    labels = clustering.labels
+    n_pt = len(instance.points)
+    point_clusters = set(labels[:n_pt].tolist())
+    center_clusters = set(labels[n_pt:].tolist())
+    point_clusters.discard(-1)
+    center_clusters.discard(-1)
+    return not point_clusters.isdisjoint(center_clusters)
+
+
+def random_instance(
+    n_points: int,
+    n_balls: int,
+    d: int,
+    radius: float,
+    *,
+    domain: float = 100.0,
+    seed: SeedLike = None,
+) -> USECInstance:
+    """Uniform random USEC instance in ``[0, domain]^d``.
+
+    Choosing ``radius`` around ``domain / n^{1/d}`` yields a healthy mix of
+    yes- and no-instances.
+    """
+    rng = make_rng(seed)
+    pts = rng.uniform(0.0, domain, size=(n_points, d))
+    centers = rng.uniform(0.0, domain, size=(n_balls, d))
+    return USECInstance(pts, centers, radius)
+
+
+def planted_instance(
+    n_points: int,
+    n_balls: int,
+    d: int,
+    radius: float,
+    *,
+    answer: bool,
+    domain: float = 100.0,
+    seed: SeedLike = None,
+) -> USECInstance:
+    """Instance with a known answer.
+
+    ``answer=True`` plants one point strictly inside a ball;
+    ``answer=False`` pushes every point at least ``radius`` away from every
+    centre by rejection sampling.
+    """
+    rng = make_rng(seed)
+    centers = rng.uniform(0.0, domain, size=(n_balls, d))
+    pts = np.empty((n_points, d))
+    filled = 0
+    while filled < n_points:
+        batch = rng.uniform(0.0, domain, size=(max(64, n_points), d))
+        sq = dm.pairwise_sq_dists(batch, centers)
+        # Keep a safety margin so floating-point noise cannot flip the answer.
+        far = np.sqrt(sq.min(axis=1)) > radius * 1.001
+        good = batch[far]
+        take = min(len(good), n_points - filled)
+        pts[filled:filled + take] = good[:take]
+        filled += take
+    if answer:
+        target = int(rng.integers(0, n_balls))
+        direction = rng.normal(size=d)
+        direction /= np.linalg.norm(direction)
+        pts[int(rng.integers(0, n_points))] = (
+            centers[target] + direction * radius * float(rng.uniform(0.0, 0.9))
+        )
+    return USECInstance(pts, centers, radius)

@@ -1,0 +1,6 @@
+"""Spatial indexes: kd-tree and STR-packed R-tree."""
+
+from repro.index.kdtree import KDTree
+from repro.index.rtree import RTree
+
+__all__ = ["KDTree", "RTree"]

@@ -1,0 +1,25 @@
+"""Library logging.
+
+All modules log through children of the ``"repro"`` logger, which carries
+a ``NullHandler`` so the library stays silent unless the application
+configures logging.  Enable diagnostics with e.g.::
+
+    import logging
+    logging.basicConfig(level=logging.DEBUG)
+    logging.getLogger("repro").setLevel(logging.DEBUG)
+
+The algorithms emit per-phase DEBUG records (grid construction, core
+labeling, graph connectivity, border assignment) with the counts a user
+needs to understand a slow run.
+"""
+
+from __future__ import annotations
+
+import logging
+
+logging.getLogger("repro").addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return the ``repro.<name>`` logger."""
+    return logging.getLogger(f"repro.{name}")

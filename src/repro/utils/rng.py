@@ -1,0 +1,26 @@
+"""Random-number-generator plumbing.
+
+All stochastic code in the library (data generators, randomised algorithms)
+accepts a ``seed`` argument and routes it through :func:`make_rng` so that
+every experiment is reproducible bit-for-bit from a single integer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a numpy Generator from an int seed, an existing Generator, or None."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list:
+    """Derive ``n`` independent child generators from ``rng``."""
+    return [np.random.default_rng(s) for s in rng.integers(0, 2**63 - 1, size=n)]

@@ -1,0 +1,121 @@
+"""Disjoint-set (union-find) structure.
+
+Used to compute the connected components of the core-cell graph ``G``
+(Lemma 1 of the paper): each core cell is an element, each graph edge a
+``union``, and the final components are the clusters' core-point groups.
+
+Implements union by rank with full path compression, giving the usual
+near-constant amortised cost per operation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List
+
+
+class UnionFind:
+    """Union-find over dense integer elements ``0..n-1``."""
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"n must be non-negative; got {n}")
+        self._parent = list(range(n))
+        self._rank = [0] * n
+        self._count = n
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    @property
+    def n_components(self) -> int:
+        """Number of disjoint sets currently held."""
+        return self._count
+
+    def find(self, x: int) -> int:
+        """Return the representative of ``x``'s set (with path compression)."""
+        parent = self._parent
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(self, x: int, y: int) -> bool:
+        """Merge the sets of ``x`` and ``y``; return True if they were distinct."""
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return False
+        if self._rank[rx] < self._rank[ry]:
+            rx, ry = ry, rx
+        self._parent[ry] = rx
+        if self._rank[rx] == self._rank[ry]:
+            self._rank[rx] += 1
+        self._count -= 1
+        return True
+
+    def connected(self, x: int, y: int) -> bool:
+        """True iff ``x`` and ``y`` are in the same set."""
+        return self.find(x) == self.find(y)
+
+    def components(self) -> List[List[int]]:
+        """Return all sets as lists of elements, ordered by smallest member."""
+        groups: Dict[int, List[int]] = {}
+        for x in range(len(self._parent)):
+            groups.setdefault(self.find(x), []).append(x)
+        return sorted(groups.values(), key=lambda members: members[0])
+
+
+class KeyedUnionFind:
+    """Union-find over arbitrary hashable keys (e.g. grid-cell coordinates)."""
+
+    def __init__(self, keys: Iterable[Hashable] = ()) -> None:
+        self._ids: Dict[Hashable, int] = {}
+        self._uf = UnionFind(0)
+        for key in keys:
+            self.add(key)
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._ids
+
+    @property
+    def n_components(self) -> int:
+        return self._uf.n_components
+
+    def add(self, key: Hashable) -> int:
+        """Register ``key`` (idempotent) and return its dense id."""
+        if key in self._ids:
+            return self._ids[key]
+        idx = len(self._ids)
+        self._ids[key] = idx
+        self._uf._parent.append(idx)
+        self._uf._rank.append(0)
+        self._uf._count += 1
+        return idx
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        """Merge the sets of keys ``a`` and ``b`` (registering them if new)."""
+        return self._uf.union(self.add(a), self.add(b))
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        if a not in self._ids or b not in self._ids:
+            return False
+        return self._uf.connected(self._ids[a], self._ids[b])
+
+    def component_labels(self) -> Dict[Hashable, int]:
+        """Map every key to a dense component label in ``0..k-1``.
+
+        Labels are assigned in order of first appearance of each component's
+        earliest-added key, making the output deterministic.
+        """
+        labels: Dict[Hashable, int] = {}
+        root_label: Dict[int, int] = {}
+        for key, idx in self._ids.items():
+            root = self._uf.find(idx)
+            if root not in root_label:
+                root_label[root] = len(root_label)
+            labels[key] = root_label[root]
+        return labels

@@ -1,0 +1,58 @@
+"""Input validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError, ParameterError
+
+
+def as_points(points, *, copy: bool = False) -> np.ndarray:
+    """Coerce ``points`` into a 2-D float64 array of shape ``(n, d)``.
+
+    Accepts any array-like (lists of tuples, numpy arrays, ...).  A 1-D input
+    of length ``n`` is interpreted as ``n`` one-dimensional points.  Raises
+    :class:`~repro.errors.DataError` on empty input, non-finite coordinates,
+    or arrays with more than two axes.
+    """
+    if copy:
+        arr = np.array(points, dtype=np.float64)
+    else:
+        arr = np.asarray(points, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise DataError(f"points must be a 2-D array of shape (n, d); got ndim={arr.ndim}")
+    if arr.shape[0] == 0:
+        raise DataError("points must contain at least one point")
+    if arr.shape[1] == 0:
+        raise DataError("points must have at least one dimension")
+    if not np.isfinite(arr).all():
+        raise DataError("points contain NaN or infinite coordinates")
+    return arr
+
+
+def check_eps(eps: float) -> float:
+    """Validate the DBSCAN radius parameter."""
+    eps = float(eps)
+    if not np.isfinite(eps) or eps <= 0:
+        raise ParameterError(f"eps must be a positive finite number; got {eps!r}")
+    return eps
+
+
+def check_min_pts(min_pts: int) -> int:
+    """Validate the DBSCAN density threshold."""
+    if not float(min_pts).is_integer():
+        raise ParameterError(f"min_pts must be an integer; got {min_pts!r}")
+    min_pts = int(min_pts)
+    if min_pts < 1:
+        raise ParameterError(f"min_pts must be >= 1; got {min_pts}")
+    return min_pts
+
+
+def check_rho(rho: float) -> float:
+    """Validate the approximation parameter of rho-approximate DBSCAN."""
+    rho = float(rho)
+    if not np.isfinite(rho) or rho <= 0:
+        raise ParameterError(f"rho must be a positive finite number; got {rho!r}")
+    return rho

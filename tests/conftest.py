@@ -1,0 +1,57 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import dbscan
+from repro.algorithms.approx import approx_dbscan
+
+
+def make_blobs(n, d, k, spread, domain, seed):
+    """Deterministic Gaussian blobs with uniform background noise."""
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.15 * domain, 0.85 * domain, size=(k, d))
+    which = rng.integers(0, k, size=n)
+    pts = centers[which] + rng.normal(0, spread, size=(n, d))
+    n_noise = max(1, n // 20)
+    noise = rng.uniform(0, domain, size=(n_noise, d))
+    return np.vstack([pts, noise])
+
+
+def brute_neighbor_counts(points, eps):
+    """O(n^2) oracle for |B(p, eps)| at every point."""
+    diff = points[:, None, :] - points[None, :, :]
+    sq = (diff ** 2).sum(axis=2)
+    return (sq <= eps * eps).sum(axis=1)
+
+
+#: Exact algorithms that must all return the unique DBSCAN result.
+EXACT_ALGOS = ("brute", "grid", "kdd96", "cit08")
+
+
+def run_algo(name, points, eps, min_pts, rho=0.01):
+    if name == "approx":
+        return approx_dbscan(points, eps, min_pts, rho=rho)
+    return dbscan(points, eps, min_pts, algorithm=name)
+
+
+@pytest.fixture(scope="session")
+def small_blobs_2d():
+    return make_blobs(200, 2, 3, spread=1.0, domain=60.0, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_blobs_3d():
+    return make_blobs(250, 3, 3, spread=1.2, domain=60.0, seed=12)
+
+
+@pytest.fixture(scope="session")
+def small_blobs_5d():
+    return make_blobs(220, 5, 3, spread=1.5, domain=60.0, seed=13)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(20150531)  # SIGMOD'15 started May 31, 2015

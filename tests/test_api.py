@@ -1,0 +1,63 @@
+"""Tests for the public API surface."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import EXACT_ALGORITHMS, dbscan
+from repro.errors import DataError, ParameterError
+
+from .conftest import make_blobs
+
+
+class TestDbscanDispatch:
+    @pytest.mark.parametrize("algorithm", ["grid", "kdd96", "cit08", "brute"])
+    def test_all_algorithms_callable(self, algorithm):
+        pts = make_blobs(80, 3, 2, spread=1.0, domain=20.0, seed=0)
+        res = dbscan(pts, 2.0, 4, algorithm=algorithm)
+        assert res.n == len(pts)
+
+    def test_gunawan_requires_2d(self):
+        with pytest.raises(ValueError):
+            dbscan(np.zeros((10, 3)), 1.0, 2, algorithm="gunawan2d")
+
+    def test_gunawan_works_2d(self):
+        pts = make_blobs(80, 2, 2, spread=1.0, domain=20.0, seed=1)
+        res = dbscan(pts, 2.0, 4, algorithm="gunawan2d")
+        assert res.meta["algorithm"] == "gunawan2d"
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ParameterError):
+            dbscan(np.zeros((3, 2)), 1.0, 2, algorithm="quantum")
+
+    def test_accepts_lists(self):
+        res = dbscan([[0.0, 0.0], [0.1, 0.0], [0.2, 0.0]], 1.0, 2)
+        assert res.n_clusters == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataError):
+            dbscan([], 1.0, 2)
+
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ParameterError):
+            dbscan([[0.0, 0.0]], -1.0, 2)
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_exports(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_exact_algorithms_tuple(self):
+        assert "grid" in EXACT_ALGORITHMS
+        assert "brute" in EXACT_ALGORITHMS
+
+    def test_top_level_functions(self):
+        pts = make_blobs(60, 2, 2, spread=1.0, domain=20.0, seed=2)
+        exact = repro.dbscan(pts, 2.0, 4)
+        approx = repro.approx_dbscan(pts, 2.0, 4, rho=0.001)
+        assert isinstance(exact, repro.Clustering)
+        assert isinstance(approx, repro.Clustering)

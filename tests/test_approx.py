@@ -1,0 +1,163 @@
+"""Tests for rho-approximate DBSCAN (Theorem 4) and the sandwich theorem
+(Theorem 3) — including hypothesis property tests.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.algorithms.approx import approx_dbscan
+from repro.algorithms.brute import brute_dbscan
+from repro.algorithms.exact_grid import exact_grid_dbscan
+from repro.evaluation.compare import clusters_contained_in, sandwich_holds
+
+from .conftest import make_blobs
+
+
+def assert_sandwich(points, eps, min_pts, rho, **kwargs):
+    approx = approx_dbscan(points, eps, min_pts, rho=rho, **kwargs)
+    exact = brute_dbscan(points, eps, min_pts)
+    inflated = brute_dbscan(points, eps * (1 + rho), min_pts)
+    # Statement 1: every exact cluster inside an approximate cluster.
+    assert clusters_contained_in(exact, approx), "sandwich statement 1 violated"
+    # Statement 2: every approximate cluster inside an inflated-exact cluster.
+    assert clusters_contained_in(approx, inflated), "sandwich statement 2 violated"
+    return approx, exact, inflated
+
+
+class TestBasics:
+    def test_core_mask_is_exact(self):
+        # Definition 1 is unchanged: core status must match exact DBSCAN.
+        pts = make_blobs(200, 3, 3, spread=1.0, domain=40.0, seed=0)
+        approx = approx_dbscan(pts, 2.5, 5, rho=0.1)
+        exact = brute_dbscan(pts, 2.5, 5)
+        assert (approx.core_mask == exact.core_mask).all()
+
+    def test_every_core_point_in_exactly_one_cluster(self):
+        # Problem 2's requirement.
+        pts = make_blobs(150, 2, 3, spread=1.2, domain=30.0, seed=1)
+        approx = approx_dbscan(pts, 2.0, 4, rho=0.05)
+        counts = {i: 0 for i in np.nonzero(approx.core_mask)[0]}
+        for cluster in approx.clusters:
+            for i in cluster:
+                if approx.core_mask[i]:
+                    counts[i] += 1
+        assert all(v == 1 for v in counts.values())
+
+    def test_tiny_rho_matches_exact_on_separated_data(self):
+        rng = np.random.default_rng(2)
+        pts = np.vstack([
+            rng.normal(0, 0.5, size=(60, 3)),
+            rng.normal(25, 0.5, size=(60, 3)),
+        ])
+        approx = approx_dbscan(pts, 2.0, 5, rho=0.001)
+        exact = brute_dbscan(pts, 2.0, 5)
+        assert approx.same_clusters(exact)
+
+    def test_huge_rho_merges_everything_reachable(self):
+        # With enormous rho the approximate result may merge clusters, but
+        # the sandwich must still hold.
+        pts = make_blobs(150, 2, 3, spread=1.0, domain=25.0, seed=3)
+        assert_sandwich(pts, 2.0, 4, rho=2.0)
+
+    def test_meta_records_parameters(self):
+        pts = np.zeros((5, 2))
+        res = approx_dbscan(pts, 1.0, 2, rho=0.01)
+        assert res.meta["algorithm"] == "approx"
+        assert res.meta["rho"] == 0.01
+
+    def test_invalid_rho_rejected(self):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            approx_dbscan(np.zeros((3, 2)), 1.0, 2, rho=0.0)
+
+
+class TestSandwichStructured:
+    @pytest.mark.parametrize("rho", [0.001, 0.01, 0.1, 0.5])
+    def test_rho_sweep(self, rho):
+        pts = make_blobs(160, 3, 3, spread=1.3, domain=30.0, seed=4)
+        assert_sandwich(pts, 2.2, 5, rho=rho)
+
+    @pytest.mark.parametrize("d", [1, 2, 3, 5])
+    def test_dimensions(self, d):
+        pts = make_blobs(140, d, 2, spread=1.0, domain=25.0, seed=5 + d)
+        assert_sandwich(pts, 2.5, 4, rho=0.05)
+
+    @pytest.mark.parametrize("exact_leaf_size", [0, 1, 8])
+    def test_leaf_size_variants(self, exact_leaf_size):
+        pts = make_blobs(130, 2, 3, spread=1.0, domain=25.0, seed=6)
+        assert_sandwich(pts, 2.0, 4, rho=0.05, exact_leaf_size=exact_leaf_size)
+
+    def test_adversarial_annulus(self):
+        # Points placed in the (eps, eps(1+rho)] annulus around a blob:
+        # "don't care" territory where approximation decisions actually vary.
+        rng = np.random.default_rng(7)
+        blob = rng.normal(0, 0.3, size=(50, 2))
+        ring_angles = rng.uniform(0, 2 * np.pi, size=30)
+        radii = rng.uniform(2.0, 2.2, size=30)  # eps = 2, rho = 0.1
+        ring = np.column_stack([radii * np.cos(ring_angles), radii * np.sin(ring_angles)])
+        far_blob = rng.normal(3.5, 0.3, size=(50, 2))
+        pts = np.vstack([blob, ring, far_blob])
+        assert_sandwich(pts, 2.0, 5, rho=0.1)
+
+    def test_coincident_points(self):
+        pts = np.ones((40, 3))
+        approx, exact, _ = assert_sandwich(pts, 1.0, 5, rho=0.01)
+        assert approx.same_clusters(exact)
+
+    def test_min_pts_one(self):
+        pts = make_blobs(100, 2, 2, spread=1.0, domain=20.0, seed=8)
+        assert_sandwich(pts, 1.5, 1, rho=0.1)
+
+
+class TestApproxVsExactCount:
+    def test_cluster_count_between_slices(self):
+        # #clusters(exact eps) >= #clusters(approx) >= #clusters(exact inflated)
+        # restricted to clusters containing core points (always true here).
+        pts = make_blobs(200, 2, 5, spread=1.5, domain=30.0, seed=9)
+        eps, min_pts, rho = 2.0, 4, 0.3
+        approx = approx_dbscan(pts, eps, min_pts, rho=rho)
+        exact = exact_grid_dbscan(pts, eps, min_pts)
+        inflated = exact_grid_dbscan(pts, eps * (1 + rho), min_pts)
+        assert inflated.n_clusters <= approx.n_clusters <= exact.n_clusters
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    pts=arrays(
+        np.float64,
+        st.tuples(st.integers(2, 50), st.integers(1, 3)),
+        elements=st.floats(0, 25),
+    ),
+    eps=st.floats(0.5, 8.0),
+    min_pts=st.integers(1, 6),
+    rho=st.sampled_from([0.001, 0.01, 0.1, 0.5, 1.0]),
+)
+def test_property_sandwich(pts, eps, min_pts, rho):
+    approx = approx_dbscan(pts, eps, min_pts, rho=rho)
+    exact = brute_dbscan(pts, eps, min_pts)
+    inflated = brute_dbscan(pts, eps * (1 + rho), min_pts)
+    assert sandwich_holds(exact, approx, inflated)
+    assert (approx.core_mask == exact.core_mask).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    pts=arrays(
+        np.float64,
+        st.tuples(st.integers(2, 40), st.just(2)),
+        elements=st.floats(0, 15),
+    ),
+    eps=st.floats(0.5, 5.0),
+    min_pts=st.integers(1, 5),
+)
+def test_property_approx_legal_for_paper_default_rho(pts, eps, min_pts):
+    """rho = 0.001 (the paper's recommended default) must always be legal."""
+    rho = 0.001
+    approx = approx_dbscan(pts, eps, min_pts, rho=rho)
+    exact = brute_dbscan(pts, eps, min_pts)
+    inflated = brute_dbscan(pts, eps * (1 + rho), min_pts)
+    assert sandwich_holds(exact, approx, inflated)

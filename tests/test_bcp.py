@@ -1,0 +1,161 @@
+"""Unit and property tests for the Bichromatic Closest Pair solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import DataError, ParameterError
+from repro.geometry.bcp import bcp, bcp_within
+
+
+def naive_bcp(a, b):
+    best, pair = np.inf, None
+    for i, p in enumerate(a):
+        for j, q in enumerate(b):
+            d = float(((p - q) ** 2).sum())
+            if d < best:
+                best, pair = d, (i, j)
+    return np.sqrt(best), pair
+
+
+class TestBCPBasics:
+    def test_trivial_pair(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 4.0]])
+        res = bcp(a, b)
+        assert res.distance == pytest.approx(5.0)
+        assert res.pair == (0, 0)
+
+    def test_picks_minimum(self):
+        a = np.array([[0.0, 0.0], [10.0, 0.0]])
+        b = np.array([[9.0, 0.0], [50.0, 50.0]])
+        res = bcp(a, b)
+        assert res.pair == (1, 0)
+        assert res.distance == pytest.approx(1.0)
+
+    def test_identical_points_give_zero(self):
+        a = np.array([[2.0, 2.0, 2.0]])
+        b = np.array([[5.0, 5.0, 5.0], [2.0, 2.0, 2.0]])
+        res = bcp(a, b)
+        assert res.distance == 0.0
+        assert res.index_b == 1
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(DataError):
+            bcp(np.empty((0, 2)), np.array([[0.0, 0.0]]))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            bcp(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ParameterError):
+            bcp(np.zeros((1, 2)), np.zeros((1, 2)), strategy="voronoi")
+
+    def test_divide2d_requires_2d(self):
+        with pytest.raises(ParameterError):
+            bcp(np.zeros((2, 3)), np.zeros((2, 3)), strategy="divide2d")
+
+
+@pytest.mark.parametrize("strategy", ["brute", "kdtree", "divide2d"])
+class TestStrategiesAgree2D:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_instances(self, strategy, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(0, 100, size=(rng.integers(1, 40), 2))
+        b = rng.uniform(0, 100, size=(rng.integers(1, 40), 2))
+        expected, _pair = naive_bcp(a, b)
+        res = bcp(a, b, strategy=strategy)
+        assert res.distance == pytest.approx(expected)
+        # The returned indices must realise the returned distance.
+        realised = np.linalg.norm(a[res.index_a] - b[res.index_b])
+        assert realised == pytest.approx(res.distance)
+
+    def test_clustered_instances(self, strategy):
+        rng = np.random.default_rng(99)
+        a = rng.normal(0, 0.5, size=(30, 2))
+        b = rng.normal(3, 0.5, size=(25, 2))
+        expected, _ = naive_bcp(a, b)
+        assert bcp(a, b, strategy=strategy).distance == pytest.approx(expected)
+
+    def test_collinear_points(self, strategy):
+        a = np.array([[float(i), 0.0] for i in range(10)])
+        b = np.array([[float(i) + 0.4, 0.0] for i in range(10, 20)])
+        expected, _ = naive_bcp(a, b)
+        assert bcp(a, b, strategy=strategy).distance == pytest.approx(expected)
+
+    def test_duplicate_coordinates(self, strategy):
+        a = np.array([[1.0, 1.0]] * 5)
+        b = np.array([[1.0, 2.0]] * 7)
+        assert bcp(a, b, strategy=strategy).distance == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("strategy", ["brute", "kdtree"])
+@pytest.mark.parametrize("d", [1, 3, 5, 7])
+def test_strategies_agree_high_dim(strategy, d):
+    rng = np.random.default_rng(d)
+    a = rng.uniform(0, 10, size=(25, d))
+    b = rng.uniform(0, 10, size=(30, d))
+    expected, _ = naive_bcp(a, b)
+    assert bcp(a, b, strategy=strategy).distance == pytest.approx(expected)
+
+
+class TestBCPWithin:
+    def test_true_when_within(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[0.5, 0.0]])
+        assert bcp_within(a, b, eps=1.0)
+
+    def test_false_when_apart(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[5.0, 0.0]])
+        assert not bcp_within(a, b, eps=1.0)
+
+    def test_boundary_inclusive(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[1.0, 0.0]])
+        assert bcp_within(a, b, eps=1.0)
+
+    @pytest.mark.parametrize("strategy", ["brute", "kdtree", "divide2d"])
+    def test_matches_full_bcp(self, strategy):
+        rng = np.random.default_rng(7)
+        a = rng.uniform(0, 20, size=(20, 2))
+        b = rng.uniform(0, 20, size=(20, 2))
+        dist, _ = naive_bcp(a, b)
+        # Stay off the exact boundary: the decision procedure may compute
+        # squared distances through the expanded form, whose last-ulp
+        # rounding differs from the difference form used here.
+        assert not bcp_within(a, b, dist * 0.999, strategy=strategy)
+        assert bcp_within(a, b, dist * 1.001, strategy=strategy)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    a=arrays(np.float64, st.tuples(st.integers(1, 12), st.just(2)),
+             elements=st.floats(-50, 50)),
+    b=arrays(np.float64, st.tuples(st.integers(1, 12), st.just(2)),
+             elements=st.floats(-50, 50)),
+)
+def test_property_all_strategies_match_naive(a, b):
+    expected, _ = naive_bcp(a, b)
+    # The brute strategy computes squared distances through the expanded
+    # form |a|^2 + |b|^2 - 2ab, whose cancellation error grows with the
+    # coordinate scale; allow the corresponding absolute slack.
+    scale = 1.0 + max(np.abs(a).max(), np.abs(b).max())
+    for strategy in ("brute", "kdtree", "divide2d"):
+        got = bcp(a, b, strategy=strategy).distance
+        assert got == pytest.approx(expected, abs=1e-7 * scale)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    a=arrays(np.float64, st.tuples(st.integers(1, 10), st.just(4)),
+             elements=st.floats(-20, 20)),
+    b=arrays(np.float64, st.tuples(st.integers(1, 10), st.just(4)),
+             elements=st.floats(-20, 20)),
+)
+def test_property_kdtree_matches_naive_4d(a, b):
+    expected, _ = naive_bcp(a, b)
+    assert bcp(a, b, strategy="kdtree").distance == pytest.approx(expected, abs=1e-9)

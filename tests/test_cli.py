@@ -1,0 +1,88 @@
+"""End-to-end tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.data import io as data_io
+
+
+@pytest.fixture()
+def dataset(tmp_path):
+    rng = np.random.default_rng(0)
+    pts = np.vstack([
+        rng.normal(10_000, 300, size=(80, 2)),
+        rng.normal(60_000, 300, size=(80, 2)),
+    ])
+    path = str(tmp_path / "data.npy")
+    data_io.save_points(pts, path)
+    return path
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("kind", ["ss", "moons", "rings", "snakes"])
+    def test_generate_kinds(self, tmp_path, kind, capsys):
+        out = str(tmp_path / f"{kind}.npy")
+        assert main(["generate", kind, out, "-n", "300", "--seed", "1"]) == 0
+        pts = data_io.load_points(out)
+        assert len(pts) == 300
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_real_like(self, tmp_path):
+        out = str(tmp_path / "pamap2.csv")
+        assert main(["generate", "pamap2", out, "-n", "200", "--seed", "2"]) == 0
+        assert data_io.load_points(out).shape == (200, 4)
+
+    def test_generate_ss_dimension(self, tmp_path):
+        out = str(tmp_path / "ss5.npy")
+        assert main(["generate", "ss", out, "-n", "200", "-d", "5"]) == 0
+        assert data_io.load_points(out).shape[1] == 5
+
+
+class TestCluster:
+    def test_cluster_approx(self, dataset, capsys):
+        assert main(["cluster", dataset, "--eps", "2000", "--min-pts", "5"]) == 0
+        assert "cluster(s)" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("algo", ["grid", "brute", "kdd96", "cit08"])
+    def test_cluster_exact_algorithms(self, dataset, algo, capsys):
+        code = main([
+            "cluster", dataset, "--eps", "2000", "--min-pts", "5",
+            "--algorithm", algo,
+        ])
+        assert code == 0
+        assert "2 cluster(s)" in capsys.readouterr().out
+
+    def test_labels_out(self, dataset, tmp_path):
+        labels_path = str(tmp_path / "labels.txt")
+        main([
+            "cluster", dataset, "--eps", "2000", "--min-pts", "5",
+            "--labels-out", labels_path,
+        ])
+        labels = np.loadtxt(labels_path)
+        assert len(labels) == 160
+
+    def test_missing_file_error(self, capsys):
+        code = main(["cluster", "/nope.npy", "--eps", "1"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestCompare:
+    def test_compare_same(self, dataset, capsys):
+        code = main(["compare", dataset, "--eps", "2000", "--min-pts", "5"])
+        assert code == 0
+        assert "SAME" in capsys.readouterr().out
+
+
+class TestLegalRhoAndCollapse:
+    def test_legal_rho(self, dataset, capsys):
+        code = main(["legal-rho", dataset, "--eps", "2000", "--min-pts", "5"])
+        assert code == 0
+        assert "maximum legal rho" in capsys.readouterr().out
+
+    def test_collapse(self, dataset, capsys):
+        code = main(["collapse", dataset, "--min-pts", "5", "--lo", "500"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "collapsing radius" in out

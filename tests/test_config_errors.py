@@ -1,0 +1,145 @@
+"""Tests for the config module, error types, and new CLI commands."""
+
+import numpy as np
+import pytest
+
+from repro import config
+from repro.cli import main
+from repro.data import io as data_io
+from repro.errors import (
+    AlgorithmError,
+    DataError,
+    ParameterError,
+    ReproError,
+    TimeoutExceeded,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in (ParameterError, DataError, AlgorithmError, TimeoutExceeded):
+            assert issubclass(exc_type, ReproError)
+
+    def test_parameter_error_is_value_error(self):
+        assert issubclass(ParameterError, ValueError)
+        assert issubclass(DataError, ValueError)
+
+    def test_timeout_carries_fields(self):
+        exc = TimeoutExceeded(12.5, 10.0)
+        assert exc.elapsed == 12.5
+        assert exc.budget == 10.0
+        assert "12.50s" in str(exc)
+
+    def test_single_except_catches_everything(self):
+        caught = []
+        for exc in (ParameterError("x"), DataError("y"), TimeoutExceeded(1, 0)):
+            try:
+                raise exc
+            except ReproError as e:
+                caught.append(e)
+        assert len(caught) == 3
+
+
+class TestConfig:
+    def test_paper_constants(self):
+        assert config.DOMAIN_SIZE == 100_000.0
+        assert config.PAPER_MINPTS == 100
+        assert config.FIG9_MINPTS == 20
+        assert config.DEFAULT_RHO == 0.001
+        assert config.PAPER_RHO_GRID[0] == 0.001
+        assert config.PAPER_RHO_GRID[-1] == 0.1
+        assert config.PAPER_DIMENSIONS == (3, 5, 7)
+
+    def test_scale_factor_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert config.scale_factor() == 1.0
+
+    def test_scale_factor_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2.5")
+        assert config.scale_factor() == 2.5
+
+    def test_scale_factor_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "not-a-number")
+        assert config.scale_factor() == 1.0
+
+    def test_scale_factor_negative_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "-3")
+        assert config.scale_factor() == 1.0
+
+    def test_scaled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert config.scaled(2_000_000) == 20_000
+        assert config.scaled(1) == 100  # floor
+
+
+@pytest.fixture()
+def dataset(tmp_path):
+    rng = np.random.default_rng(0)
+    pts = np.vstack([
+        rng.normal(10_000, 300, size=(60, 2)),
+        rng.normal(60_000, 300, size=(60, 2)),
+    ])
+    path = str(tmp_path / "data.npy")
+    data_io.save_points(pts, path)
+    return path
+
+
+class TestNewCLICommands:
+    def test_suggest_eps(self, dataset, capsys):
+        code = main([
+            "suggest-eps", dataset, "--min-pts", "5",
+            "--lo", "500", "--hi", "40000", "--steps", "8",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "suggested eps" in out
+
+    def test_optics_profile(self, dataset, capsys):
+        code = main(["optics", dataset, "--eps", "5000", "--min-pts", "5"])
+        assert code == 0
+        assert "OPTICS ordering" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("ext", ["json", "npz"])
+    def test_cluster_result_out(self, dataset, tmp_path, ext):
+        out_path = str(tmp_path / f"res.{ext}")
+        code = main([
+            "cluster", dataset, "--eps", "2000", "--min-pts", "5",
+            "--result-out", out_path,
+        ])
+        assert code == 0
+        from repro.core.serialize import load_clustering
+
+        restored = load_clustering(out_path)
+        assert restored.n_clusters == 2
+
+
+class TestLogging:
+    def test_library_silent_by_default(self, capsys):
+        import numpy as np
+
+        from repro import dbscan
+
+        dbscan(np.zeros((5, 2)), 1.0, 2)
+        captured = capsys.readouterr()
+        assert captured.out == "" and captured.err == ""
+
+    def test_debug_records_emitted(self, caplog):
+        import logging
+
+        import numpy as np
+
+        from repro import approx_dbscan, dbscan
+
+        with caplog.at_level(logging.DEBUG, logger="repro"):
+            pts = np.random.default_rng(0).uniform(0, 20, (100, 2))
+            dbscan(pts, 2.0, 4)
+            approx_dbscan(pts, 2.0, 4, rho=0.01)
+        messages = [r.message for r in caplog.records]
+        assert any("grid built" in m for m in messages)
+        assert any("components" in m for m in messages)
+        assert any("border assignment" in m for m in messages)
+
+    def test_get_logger_namespacing(self):
+        from repro.utils.log import get_logger
+
+        assert get_logger("x.y").name == "repro.x.y"

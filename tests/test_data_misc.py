@@ -1,0 +1,198 @@
+"""Tests for VZ features, real-dataset stand-ins, 2D shapes, and IO."""
+
+import numpy as np
+import pytest
+
+from repro import config
+from repro.data import io as data_io
+from repro.data import real_like, shapes, vz
+from repro.errors import DataError, ParameterError
+
+
+class TestSyntheticImage:
+    def test_shape_and_range(self):
+        img = vz.synthetic_satellite_image(32, 48, seed=0)
+        assert img.shape == (32, 48, 3)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_deterministic(self):
+        a = vz.synthetic_satellite_image(16, 16, seed=1)
+        b = vz.synthetic_satellite_image(16, 16, seed=1)
+        assert np.array_equal(a, b)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ParameterError):
+            vz.synthetic_satellite_image(2, 2)
+
+    def test_regions_have_distinct_colors(self):
+        img = vz.synthetic_satellite_image(64, 64, n_regions=4, seed=2)
+        # Color variance across the image must be substantial.
+        assert img.reshape(-1, 3).std(axis=0).max() > 0.05
+
+
+class TestVZFeatures:
+    def test_feature_shape(self):
+        img = np.zeros((10, 12, 3))
+        feats = vz.vz_features(img, patch_size=3)
+        assert feats.shape == ((10 - 2) * (12 - 2), 9 * 3)
+
+    def test_grayscale_input(self):
+        img = np.zeros((8, 8))
+        feats = vz.vz_features(img, patch_size=3)
+        assert feats.shape == (36, 9)
+
+    def test_constant_image_constant_features(self):
+        img = np.full((8, 8), 0.5)
+        feats = vz.vz_features(img, patch_size=3)
+        assert np.allclose(feats, 0.5)
+
+    def test_center_pixel_present(self):
+        # The central element of each patch equals the pixel value.
+        rng = np.random.default_rng(3)
+        img = rng.uniform(size=(9, 9))
+        feats = vz.vz_features(img, patch_size=3)
+        centers = img[1:-1, 1:-1].ravel()
+        # patch ordering: dy,dx row-major; centre is element 4 for 3x3 gray.
+        assert np.allclose(feats[:, 4], centers)
+
+    def test_even_patch_rejected(self):
+        with pytest.raises(ParameterError):
+            vz.vz_features(np.zeros((8, 8)), patch_size=2)
+
+    def test_image_smaller_than_patch_rejected(self):
+        with pytest.raises(DataError):
+            vz.vz_features(np.zeros((2, 2)), patch_size=3)
+
+
+class TestPCA:
+    def test_projects_to_k(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(100, 6))
+        proj, comps = vz.pca(X, 2)
+        assert proj.shape == (100, 2)
+        assert comps.shape == (2, 6)
+
+    def test_components_orthonormal(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(60, 5))
+        _proj, comps = vz.pca(X, 3)
+        assert np.allclose(comps @ comps.T, np.eye(3), atol=1e-8)
+
+    def test_captures_dominant_direction(self):
+        rng = np.random.default_rng(6)
+        t = rng.normal(size=200)
+        X = np.column_stack([t * 10, t * 0.1 + rng.normal(0, 0.01, 200)])
+        _proj, comps = vz.pca(X, 1)
+        # First component ~ (1, 0.01)/|..| -> |x-component| near 1.
+        assert abs(comps[0, 0]) > 0.99
+
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            vz.pca(np.zeros((5, 3)), 4)
+
+
+class TestRescale:
+    def test_maps_to_domain(self):
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(50, 3)) * 100 - 40
+        out = vz.rescale_to_domain(X, 1000.0)
+        assert out.min() == pytest.approx(0.0)
+        assert out.max() == pytest.approx(1000.0)
+
+    def test_constant_column(self):
+        X = np.column_stack([np.ones(10), np.arange(10, dtype=float)])
+        out = vz.rescale_to_domain(X, 10.0)
+        assert (out[:, 0] == 0.0).all()
+
+
+class TestRealLike:
+    @pytest.mark.parametrize(
+        "gen,d",
+        [(real_like.pamap2_like, 4), (real_like.farm_like, 5), (real_like.household_like, 7)],
+    )
+    def test_shape_and_domain(self, gen, d):
+        X = gen(1500, seed=0)
+        assert X.shape == (1500, d)
+        assert X.min() >= 0.0 and X.max() <= config.DOMAIN_SIZE
+
+    @pytest.mark.parametrize(
+        "gen", [real_like.pamap2_like, real_like.farm_like, real_like.household_like]
+    )
+    def test_deterministic(self, gen):
+        assert np.array_equal(gen(400, seed=5), gen(400, seed=5))
+
+    @pytest.mark.parametrize(
+        "gen", [real_like.pamap2_like, real_like.farm_like, real_like.household_like]
+    )
+    def test_clustered_structure(self, gen):
+        # DBSCAN at a moderate radius must find structure: some clusters,
+        # and clearly not one point per cluster.
+        from repro.algorithms.approx import approx_dbscan
+
+        X = gen(1500, seed=1)
+        res = approx_dbscan(X, 8000.0, 10, rho=0.01)
+        assert 1 <= res.n_clusters <= 150
+
+    def test_generators_registry(self):
+        assert set(real_like.REAL_LIKE_GENERATORS) == {"pamap2", "farm", "household"}
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ParameterError):
+            real_like.pamap2_like(5)
+
+
+class TestShapes:
+    def test_two_moons(self):
+        pts, labels = shapes.two_moons(200, seed=0)
+        assert pts.shape == (200, 2)
+        assert set(labels.tolist()) == {0, 1}
+
+    def test_rings_sizes_balanced(self):
+        pts, labels = shapes.rings(90, radii=(1.0, 2.0, 3.0), seed=1)
+        counts = np.bincount(labels)
+        assert counts.tolist() == [30, 30, 30]
+
+    def test_snakes(self):
+        pts, labels = shapes.snakes(400, n_snakes=4, seed=2)
+        assert pts.shape == (400, 2)
+        assert len(set(labels.tolist())) == 4
+
+    def test_gaussian_blobs_with_noise(self):
+        centers = np.array([[0.0, 0.0], [10.0, 10.0]])
+        pts, labels = shapes.gaussian_blobs(100, centers, noise_fraction=0.1, seed=3)
+        assert (labels == -1).sum() == 10
+
+    def test_bad_noise_fraction(self):
+        with pytest.raises(ParameterError):
+            shapes.gaussian_blobs(10, np.zeros((1, 2)), noise_fraction=1.0)
+
+    def test_moons_separable_by_dbscan(self):
+        from repro.api import dbscan
+
+        pts, _labels = shapes.two_moons(400, noise=0.04, seed=4)
+        res = dbscan(pts, eps=0.18, min_pts=5)
+        assert res.n_clusters == 2
+
+
+class TestIO:
+    @pytest.mark.parametrize("ext", [".npy", ".csv", ".txt"])
+    def test_roundtrip(self, tmp_path, ext):
+        rng = np.random.default_rng(0)
+        pts = rng.normal(size=(20, 3))
+        path = str(tmp_path / f"pts{ext}")
+        data_io.save_points(pts, path)
+        loaded = data_io.load_points(path)
+        assert np.allclose(loaded, pts)
+
+    def test_unsupported_extension(self, tmp_path):
+        with pytest.raises(DataError):
+            data_io.save_points(np.zeros((2, 2)), str(tmp_path / "x.parquet"))
+
+    def test_missing_file(self):
+        with pytest.raises(DataError):
+            data_io.load_points("/nonexistent/file.npy")
+
+    def test_1d_csv_loads_as_column(self, tmp_path):
+        path = str(tmp_path / "one.csv")
+        data_io.save_points(np.array([[1.0], [2.0]]), path)
+        assert data_io.load_points(path).shape == (2, 1)

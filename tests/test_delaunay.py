@@ -1,0 +1,143 @@
+"""Tests for the 2D Delaunay / Voronoi-NN substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import DataError
+from repro.geometry.delaunay import Delaunay2D, VoronoiNN
+
+
+def brute_nn(points, q):
+    sq = ((points - q) ** 2).sum(axis=1)
+    return float(sq.min())
+
+
+class TestDelaunayConstruction:
+    def test_rejects_bad_shape(self):
+        with pytest.raises(DataError):
+            Delaunay2D(np.zeros((3, 3)))
+        with pytest.raises(DataError):
+            Delaunay2D(np.empty((0, 2)))
+
+    def test_triangle_count_euler(self):
+        # For points in general position: T = 2n - 2 - h (h = hull size).
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 100, size=(40, 2))
+        tri = Delaunay2D(pts)
+        n = len(pts)
+        t = len(tri.triangles)
+        assert n - 2 <= t <= 2 * n - 5
+
+    def test_empty_circumcircle_property(self):
+        # The defining Delaunay property: no point strictly inside any
+        # triangle's circumcircle.
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(0, 50, size=(25, 2))
+        tri = Delaunay2D(pts)
+        for a, b, c in tri.triangles:
+            center, r_sq = _circumcircle(pts[a], pts[b], pts[c])
+            d_sq = ((pts - center) ** 2).sum(axis=1)
+            inside = d_sq < r_sq * (1 - 1e-9)
+            inside[[a, b, c]] = False
+            assert not inside.any()
+
+    def test_duplicates_collapsed(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [0.0, 0.0]])
+        tri = Delaunay2D(pts)
+        assert tri.alias[3] == 0
+        assert tri.neighbors(3) == tri.neighbors(0)
+
+    def test_collinear_has_no_triangles(self):
+        pts = np.column_stack([np.arange(5, dtype=float), np.zeros(5)])
+        tri = Delaunay2D(pts)
+        assert tri.triangles == []
+
+    def test_triangle_vertices_are_real(self):
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(0, 10, size=(15, 2))
+        tri = Delaunay2D(pts)
+        for t in tri.triangles:
+            assert all(0 <= v < len(pts) for v in t)
+
+
+def _circumcircle(a, b, c):
+    ax, ay = a
+    bx, by = b
+    cx, cy = c
+    d = 2 * (ax * (by - cy) + bx * (cy - ay) + cx * (ay - by))
+    ux = ((ax**2 + ay**2) * (by - cy) + (bx**2 + by**2) * (cy - ay)
+          + (cx**2 + cy**2) * (ay - by)) / d
+    uy = ((ax**2 + ay**2) * (cx - bx) + (bx**2 + by**2) * (ax - cx)
+          + (cx**2 + cy**2) * (bx - ax)) / d
+    center = np.array([ux, uy])
+    return center, float(((a - center) ** 2).sum())
+
+
+class TestVoronoiNN:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_brute_uniform(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 100, size=(60, 2))
+        nn = VoronoiNN(pts)
+        for _ in range(30):
+            q = rng.uniform(-10, 110, size=2)
+            _idx, sq = nn.nearest(q)
+            assert sq == pytest.approx(brute_nn(pts, q), rel=1e-9)
+
+    def test_matches_brute_clustered(self):
+        rng = np.random.default_rng(9)
+        pts = np.vstack([rng.normal(0, 1, (40, 2)), rng.normal(30, 1, (40, 2))])
+        nn = VoronoiNN(pts)
+        for q in rng.uniform(-5, 35, size=(25, 2)):
+            _idx, sq = nn.nearest(q)
+            assert sq == pytest.approx(brute_nn(pts, q), rel=1e-9)
+
+    def test_query_at_data_point(self):
+        pts = np.random.default_rng(3).uniform(0, 10, size=(20, 2))
+        nn = VoronoiNN(pts)
+        idx, sq = nn.nearest(pts[7])
+        assert sq == pytest.approx(0.0, abs=1e-12)
+
+    def test_single_point(self):
+        nn = VoronoiNN(np.array([[5.0, 5.0]]))
+        idx, sq = nn.nearest(np.array([6.0, 5.0]))
+        assert idx == 0 and sq == pytest.approx(1.0)
+
+    def test_two_points(self):
+        nn = VoronoiNN(np.array([[0.0, 0.0], [10.0, 0.0]]))
+        idx, _sq = nn.nearest(np.array([7.0, 0.0]))
+        assert idx == 1
+
+    def test_collinear_points(self):
+        pts = np.column_stack([np.arange(10, dtype=float), np.zeros(10)])
+        nn = VoronoiNN(pts)
+        idx, sq = nn.nearest(np.array([6.4, 2.0]))
+        assert idx == 6
+        assert sq == pytest.approx(0.16 + 4.0)
+
+    def test_nearest_within(self):
+        pts = np.array([[0.0, 0.0], [5.0, 0.0], [9.0, 0.0]])
+        nn = VoronoiNN(pts)
+        assert nn.nearest_within(np.array([5.5, 0.0]), 1.0)
+        assert not nn.nearest_within(np.array([2.5, 0.0]), 1.0)
+
+    def test_duplicated_points(self):
+        pts = np.vstack([np.zeros((5, 2)), [[1.0, 0.0]], [[0.0, 1.0]]])
+        nn = VoronoiNN(pts)
+        idx, sq = nn.nearest(np.array([0.1, 0.1]))
+        assert sq == pytest.approx(0.02)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    pts=arrays(np.float64, st.tuples(st.integers(1, 30), st.just(2)),
+               elements=st.floats(-50, 50)),
+    q=arrays(np.float64, (2,), elements=st.floats(-60, 60)),
+)
+def test_property_voronoi_nn_matches_brute(pts, q):
+    nn = VoronoiNN(pts)
+    _idx, sq = nn.nearest(q)
+    assert sq == pytest.approx(brute_nn(pts, q), rel=1e-6, abs=1e-9)

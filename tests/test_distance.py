@@ -1,0 +1,131 @@
+"""Unit tests for the distance kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry import distance as dm
+
+
+class TestScalarDistances:
+    def test_sq_dist_simple(self):
+        assert dm.sq_dist([0.0, 0.0], [3.0, 4.0]) == 25.0
+
+    def test_dist_simple(self):
+        assert dm.dist([0.0, 0.0], [3.0, 4.0]) == 5.0
+
+    def test_zero_distance(self):
+        p = np.array([1.5, -2.5, 3.0])
+        assert dm.sq_dist(p, p) == 0.0
+
+    def test_symmetry(self):
+        p, q = np.array([1.0, 2.0]), np.array([-3.0, 7.0])
+        assert dm.sq_dist(p, q) == dm.sq_dist(q, p)
+
+    def test_one_dimensional(self):
+        assert dm.dist([2.0], [5.0]) == 3.0
+
+
+class TestSqDistsToPoint:
+    def test_matches_scalar(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [3.0, 4.0]])
+        q = np.array([0.0, 0.0])
+        expected = [dm.sq_dist(p, q) for p in pts]
+        assert np.allclose(dm.sq_dists_to_point(pts, q), expected)
+
+    def test_single_point(self):
+        pts = np.array([[1.0, 2.0, 3.0]])
+        out = dm.sq_dists_to_point(pts, np.array([1.0, 2.0, 3.0]))
+        assert out.shape == (1,)
+        assert out[0] == 0.0
+
+
+class TestPairwise:
+    def test_matches_naive(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(7, 3))
+        b = rng.normal(size=(5, 3))
+        naive = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2)
+        assert np.allclose(dm.pairwise_sq_dists(a, b), naive)
+
+    def test_non_negative_under_cancellation(self):
+        # Large coordinates provoke floating-point cancellation; the clip
+        # must keep every entry non-negative.
+        a = np.full((4, 3), 1e8)
+        assert (dm.pairwise_sq_dists(a, a) >= 0).all()
+
+    def test_shapes(self):
+        a = np.zeros((3, 2))
+        b = np.zeros((4, 2))
+        assert dm.pairwise_sq_dists(a, b).shape == (3, 4)
+
+
+class TestChunkedIteration:
+    def test_covers_all_rows(self, monkeypatch):
+        monkeypatch.setattr(dm, "_CHUNK_BUDGET", 10)  # force many chunks
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(23, 2))
+        b = rng.normal(size=(4, 2))
+        seen = np.zeros(len(a), dtype=bool)
+        full = dm.pairwise_sq_dists(a, b)
+        for rows, block in dm.iter_chunked_sq_dists(a, b):
+            assert np.allclose(block, full[rows])
+            seen[rows] = True
+        assert seen.all()
+
+    def test_single_chunk_when_small(self):
+        a = np.zeros((3, 2))
+        b = np.zeros((2, 2))
+        chunks = list(dm.iter_chunked_sq_dists(a, b))
+        assert len(chunks) == 1
+
+
+class TestAggregates:
+    def test_count_within(self):
+        a = np.array([[0.0, 0.0], [10.0, 0.0]])
+        b = np.array([[0.5, 0.0], [1.5, 0.0], [10.2, 0.0]])
+        assert dm.count_within(a, b, radius=1.0).tolist() == [1, 1]
+
+    def test_count_within_inclusive_boundary(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[1.0, 0.0]])
+        assert dm.count_within(a, b, radius=1.0).tolist() == [1]
+
+    def test_any_within_true(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[5.0, 0.0], [0.9, 0.0]])
+        assert dm.any_within(a, b, radius=1.0)
+
+    def test_any_within_false(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[5.0, 0.0], [0.0, 2.0]])
+        assert not dm.any_within(a, b, radius=1.0)
+
+    def test_min_sq_dist_between(self):
+        a = np.array([[0.0, 0.0], [10.0, 10.0]])
+        b = np.array([[3.0, 4.0], [20.0, 20.0]])
+        assert dm.min_sq_dist_between(a, b) == pytest.approx(25.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    a=arrays(np.float64, (5, 3), elements=st.floats(-100, 100)),
+    b=arrays(np.float64, (4, 3), elements=st.floats(-100, 100)),
+)
+def test_pairwise_property_matches_naive(a, b):
+    naive = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2)
+    fast = dm.pairwise_sq_dists(a, b)
+    assert np.allclose(fast, naive, atol=1e-6 * (1 + np.abs(naive).max()))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    a=arrays(np.float64, (6, 2), elements=st.floats(-50, 50)),
+    b=arrays(np.float64, (6, 2), elements=st.floats(-50, 50)),
+    radius=st.floats(0.1, 100),
+)
+def test_count_and_any_consistent(a, b, radius):
+    counts = dm.count_within(a, b, radius)
+    assert dm.any_within(a, b, radius) == bool((counts > 0).any())

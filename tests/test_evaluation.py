@@ -1,0 +1,182 @@
+"""Tests for the evaluation package: compare, legal rho, collapse, timing."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms.exact_grid import exact_grid_dbscan
+from repro.core.result import Clustering
+from repro.errors import DataError, ParameterError, TimeoutExceeded
+from repro.evaluation import (
+    adjusted_rand_index,
+    clusters_contained_in,
+    collapsing_radius,
+    confusion_summary,
+    eps_sweep,
+    format_table,
+    legal_rho_profile,
+    max_legal_rho,
+    rand_index,
+    same_clusters,
+    speedup,
+    timed,
+)
+from repro.evaluation.timing import DNF, TimedRun
+
+from .conftest import make_blobs
+
+
+def result(n, clusters, cores):
+    mask = np.zeros(n, dtype=bool)
+    mask[list(cores)] = True
+    return Clustering(n, clusters, mask)
+
+
+class TestCompare:
+    def test_same_clusters(self):
+        a = result(4, [{0, 1}, {2, 3}], {0, 2})
+        b = result(4, [{2, 3}, {0, 1}], {0, 2})
+        assert same_clusters(a, b)
+
+    def test_containment_true(self):
+        inner = result(5, [{0, 1}], {0})
+        outer = result(5, [{0, 1, 2}], {0})
+        assert clusters_contained_in(inner, outer)
+        assert not clusters_contained_in(outer, inner)
+
+    def test_containment_requires_same_n(self):
+        with pytest.raises(DataError):
+            clusters_contained_in(result(3, [], set()), result(4, [], set()))
+
+    def test_rand_index_identical(self):
+        a = result(6, [{0, 1, 2}, {3, 4}], {0, 3})
+        assert rand_index(a, a) == 1.0
+        assert adjusted_rand_index(a, a) == 1.0
+
+    def test_rand_index_disagreement(self):
+        a = result(4, [{0, 1}, {2, 3}], {0, 2})
+        b = result(4, [{0, 2}, {1, 3}], {0, 1})
+        assert rand_index(a, b) < 1.0
+
+    def test_ari_noise_as_singletons(self):
+        # All-noise results agree perfectly (each point its own singleton).
+        a = result(5, [], set())
+        b = result(5, [], set())
+        assert adjusted_rand_index(a, b) == 1.0
+
+    def test_confusion_summary_says_same(self):
+        a = result(4, [{0, 1}], {0})
+        assert "SAME" in confusion_summary(a, a)
+        b = result(4, [{0, 1, 2}], {0})
+        assert "DIFFERENT" in confusion_summary(a, b)
+
+
+class TestMaxLegalRho:
+    def test_well_separated_data_allows_big_rho(self):
+        rng = np.random.default_rng(0)
+        pts = np.vstack([
+            rng.normal(0, 0.5, size=(60, 2)),
+            rng.normal(100, 0.5, size=(60, 2)),
+        ])
+        rho = max_legal_rho(pts, eps=3.0, min_pts=5, rho_grid=(0.001, 0.01, 0.1))
+        assert rho == 0.1
+
+    def test_unstable_eps_gives_zero(self):
+        # Two point-clouds separated by a hair more than eps — the paper's
+        # epsilon_3 of Figure 6.  The gap falls inside (eps, eps(1+rho)]
+        # for every grid rho, where the approximate algorithm may (and, for
+        # this duplicated-point configuration, does) merge the clusters,
+        # so no grid rho is legal.
+        a = np.tile([[0.0, 0.0]], (30, 1))
+        b = np.tile([[2.0004, 0.0]], (30, 1))
+        pts = np.vstack([a, b])
+        assert exact_grid_dbscan(pts, 2.0, 3).n_clusters == 2
+        rho = max_legal_rho(pts, eps=2.0, min_pts=3, rho_grid=(0.001, 0.01, 0.1))
+        assert rho == 0.0
+
+    def test_respects_precomputed_exact(self):
+        pts = make_blobs(100, 2, 2, spread=1.0, domain=30.0, seed=2)
+        exact = exact_grid_dbscan(pts, 2.0, 4)
+        rho = max_legal_rho(pts, 2.0, 4, rho_grid=(0.001,), exact=exact)
+        assert rho in (0.0, 0.001)
+
+    def test_profile_shapes(self):
+        pts = make_blobs(80, 2, 2, spread=1.0, domain=25.0, seed=3)
+        profile = legal_rho_profile(pts, [1.0, 2.0], 4, rho_grid=(0.001, 0.1))
+        assert len(profile) == 2
+        assert profile[0].eps == 1.0
+        assert profile[0].n_clusters_exact >= 0
+
+    def test_eps_sweep(self):
+        values = eps_sweep(1.0, 5.0, 5)
+        assert values.tolist() == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert eps_sweep(1.0, 5.0, 1).tolist() == [1.0]
+
+
+class TestCollapsingRadius:
+    def test_two_blob_collapse(self):
+        rng = np.random.default_rng(4)
+        pts = np.vstack([
+            rng.normal(0, 0.3, size=(40, 2)),
+            rng.normal(10, 0.3, size=(40, 2)),
+        ])
+        radius = collapsing_radius(pts, min_pts=5, lo=0.5)
+        # Collapse must happen near the blob separation (10), certainly
+        # between 2 and 15.
+        assert 2.0 < radius < 15.0
+        assert exact_grid_dbscan(pts, radius, 5).n_clusters == 1
+
+    def test_already_collapsed_at_lo(self):
+        pts = np.random.default_rng(5).normal(0, 0.1, size=(30, 2))
+        assert collapsing_radius(pts, min_pts=3, lo=5.0) == 5.0
+
+    def test_impossible_when_not_enough_points(self):
+        with pytest.raises(ParameterError):
+            collapsing_radius(np.zeros((3, 2)), min_pts=10)
+
+    def test_verify_steps(self):
+        rng = np.random.default_rng(6)
+        pts = np.vstack([
+            rng.normal(0, 0.3, size=(30, 2)),
+            rng.normal(8, 0.3, size=(30, 2)),
+        ])
+        radius = collapsing_radius(pts, min_pts=4, lo=0.5, verify_steps=4)
+        assert exact_grid_dbscan(pts, radius, 4).n_clusters == 1
+
+
+class TestTiming:
+    def test_timed_success(self):
+        run = timed("x", lambda: 42)
+        assert run.finished and run.result == 42
+        assert run.seconds >= 0.0
+        assert run.cell() != DNF
+
+    def test_timed_timeout_recorded(self):
+        def boom():
+            raise TimeoutExceeded(1.0, 0.5)
+
+        run = timed("x", boom)
+        assert not run.finished
+        assert run.cell() == DNF
+
+    def test_timed_other_exception_propagates(self):
+        with pytest.raises(RuntimeError):
+            timed("x", lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+
+    def test_timed_measures_duration(self):
+        run = timed("sleep", lambda: time.sleep(0.02))
+        assert run.seconds >= 0.015
+
+    def test_speedup(self):
+        a = TimedRun("a", 2.0)
+        b = TimedRun("b", 0.5)
+        assert speedup(a, b) == 4.0
+        assert speedup(a, TimedRun("c", None)) is None
+
+    def test_format_table_alignment(self):
+        table = format_table(["algo", "t"], [["grid", "0.1"], ["kdd96", DNF]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("algo")
+        assert all(len(line) == len(lines[0]) for line in lines[1:2])

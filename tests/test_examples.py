@@ -1,0 +1,52 @@
+"""Smoke tests: every example script must run to completion."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+SCRIPTS = [
+    "quickstart.py",
+    "image_segmentation.py",
+    "activity_monitoring.py",
+    "usec_reduction.py",
+    "visualize_clusters.py",
+    "arbitrary_shapes.py",
+    "parameter_selection.py",
+]
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    proc = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_reports_agreement():
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert "SAME" in proc.stdout
+
+
+def test_usec_reduction_all_agree():
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "usec_reduction.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert "16/16 instances agree" in proc.stdout

@@ -1,0 +1,88 @@
+"""Unit tests for the shared seed-expansion control flow."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.expansion import expand_dbscan
+from repro.core.params import DBSCANParams
+from repro.errors import TimeoutExceeded
+
+
+def brute_region_query_factory(points, eps):
+    limit = eps * eps
+
+    def region_query(i):
+        sq = ((points - points[i]) ** 2).sum(axis=1)
+        return np.nonzero(sq <= limit)[0]
+
+    return region_query
+
+
+def run(points, eps, min_pts, **kwargs):
+    points = np.asarray(points, dtype=np.float64)
+    return expand_dbscan(
+        points,
+        DBSCANParams(eps, min_pts),
+        brute_region_query_factory(points, eps),
+        algorithm_name="test",
+        **kwargs,
+    )
+
+
+class TestExpansion:
+    def test_single_blob(self):
+        pts = np.random.default_rng(0).normal(0, 0.3, size=(40, 2))
+        result = run(pts, 2.0, 5)
+        assert result.n_clusters == 1
+        assert result.core_mask.all()
+
+    def test_cluster_ids_in_scan_order(self):
+        # Clusters are numbered by the order their first core point is
+        # scanned — the classic behaviour.
+        pts = np.vstack([np.zeros((5, 2)), np.full((5, 2), 50.0)])
+        result = run(pts, 1.0, 3)
+        first = result.meta["first_labels"]
+        assert first[0] == 0 and first[5] == 1
+
+    def test_range_query_count_is_n(self):
+        pts = np.random.default_rng(1).uniform(0, 20, size=(60, 2))
+        result = run(pts, 2.0, 4)
+        assert result.meta["range_queries"] == 60
+
+    def test_border_memberships_complete(self):
+        # Border between two clusters: both memberships collected even
+        # though the classic first-labels give it to only one.
+        ys = np.linspace(0, 2, 21)
+        left = np.column_stack([np.zeros(21), ys])
+        right = np.column_stack([np.full(21, 2.0), ys])
+        middle = np.array([[1.0, 1.0]])
+        pts = np.vstack([left, right, middle])
+        result = run(pts, 1.05, 16)
+        assert len(result.memberships_of(42)) == 2
+        assert result.meta["first_labels"][42] in (0, 1)
+
+    def test_noise_then_border_revision(self):
+        # Point scanned first, found non-core (labelled noise), later
+        # absorbed as border by an expanding cluster.
+        border = np.array([[0.0, 0.0]])
+        blob = np.column_stack([np.linspace(0.9, 1.35, 10), np.zeros(10)])
+        pts = np.vstack([border, blob])
+        result = run(pts, 1.0, 5)
+        assert result.labels[0] >= 0
+        assert not result.core_mask[0]
+
+    def test_timeout_zero_budget(self):
+        pts = np.zeros((50, 2))
+        with pytest.raises(TimeoutExceeded):
+            run(pts, 1.0, 2, time_budget=0.0)
+
+    def test_extra_meta_merged(self):
+        pts = np.zeros((5, 2))
+        result = run(pts, 1.0, 2, extra_meta={"backend": "brute"})
+        assert result.meta["backend"] == "brute"
+
+    def test_min_pts_one_every_point_own_query(self):
+        pts = np.arange(8, dtype=float).reshape(-1, 1) * 100
+        result = run(pts, 1.0, 1)
+        assert result.n_clusters == 8
+        assert result.core_mask.all()

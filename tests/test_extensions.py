@@ -1,0 +1,107 @@
+"""Tests for the extensions: stability profiling and fully-approximate DBSCAN."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.brute import brute_dbscan
+from repro.errors import ParameterError
+from repro.evaluation.compare import sandwich_holds
+from repro.extensions.approx_cores import approx_core_mask, approx_dbscan_full
+from repro.extensions.stability import (
+    Plateau,
+    cluster_count_profile,
+    plateaus,
+    suggest_eps,
+)
+
+from .conftest import brute_neighbor_counts, make_blobs
+
+
+class TestApproxCoreMask:
+    def test_superset_of_exact_cores(self):
+        pts = make_blobs(200, 3, 3, spread=1.0, domain=30.0, seed=0)
+        eps, min_pts, rho = 2.0, 6, 0.2
+        approx = approx_core_mask(pts, eps, min_pts, rho)
+        exact = brute_neighbor_counts(pts, eps) >= min_pts
+        assert (approx | ~exact).all()  # exact core => approx core
+
+    def test_subset_of_inflated_cores(self):
+        pts = make_blobs(200, 3, 3, spread=1.0, domain=30.0, seed=1)
+        eps, min_pts, rho = 2.0, 6, 0.2
+        approx = approx_core_mask(pts, eps, min_pts, rho)
+        inflated = brute_neighbor_counts(pts, eps * (1 + rho)) >= min_pts
+        assert (inflated | ~approx).all()  # approx core => inflated core
+
+    def test_min_pts_one_all_core(self):
+        pts = make_blobs(50, 2, 2, spread=1.0, domain=20.0, seed=2)
+        assert approx_core_mask(pts, 1.0, 1, 0.01).all()
+
+
+class TestApproxDBSCANFull:
+    @pytest.mark.parametrize("rho", [0.01, 0.1, 0.5])
+    def test_sandwich_still_holds(self, rho):
+        pts = make_blobs(150, 2, 3, spread=1.2, domain=25.0, seed=3)
+        eps, min_pts = 2.0, 5
+        full = approx_dbscan_full(pts, eps, min_pts, rho=rho)
+        exact = brute_dbscan(pts, eps, min_pts)
+        inflated = brute_dbscan(pts, eps * (1 + rho), min_pts)
+        assert sandwich_holds(exact, full, inflated)
+
+    def test_small_rho_matches_exact_on_separated_data(self):
+        rng = np.random.default_rng(4)
+        pts = np.vstack([
+            rng.normal(0, 0.5, size=(60, 3)),
+            rng.normal(30, 0.5, size=(60, 3)),
+        ])
+        full = approx_dbscan_full(pts, 2.0, 5, rho=0.001)
+        exact = brute_dbscan(pts, 2.0, 5)
+        assert full.same_clusters(exact)
+
+    def test_meta(self):
+        res = approx_dbscan_full(np.zeros((5, 2)), 1.0, 2, rho=0.05)
+        assert res.meta["algorithm"] == "approx_full"
+
+
+class TestStability:
+    def test_profile_shape(self):
+        pts = make_blobs(100, 2, 2, spread=1.0, domain=25.0, seed=5)
+        profile = cluster_count_profile(pts, 4, [1.0, 2.0, 3.0])
+        assert len(profile) == 3
+        assert all(isinstance(k, int) for _e, k in profile)
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ParameterError):
+            cluster_count_profile(np.zeros((5, 2)), 2, [])
+
+    def test_plateaus_merge_runs(self):
+        profile = [(1.0, 3), (2.0, 3), (3.0, 2), (4.0, 2), (5.0, 1)]
+        out = plateaus(profile)
+        assert [(p.eps_lo, p.eps_hi, p.n_clusters) for p in out] == [
+            (1.0, 2.0, 3),
+            (3.0, 4.0, 2),
+            (5.0, 5.0, 1),
+        ]
+
+    def test_plateau_relative_width(self):
+        p = Plateau(2.0, 3.0, 4)
+        assert p.relative_width == pytest.approx(0.5)
+        assert p.midpoint == pytest.approx(2.5)
+
+    def test_suggest_eps_finds_stable_range(self):
+        rng = np.random.default_rng(6)
+        pts = np.vstack([
+            rng.normal(0, 0.5, size=(80, 2)),
+            rng.normal(40, 0.5, size=(80, 2)),
+        ])
+        plateau = suggest_eps(pts, 5, np.linspace(1.0, 20.0, 12))
+        assert plateau is not None
+        assert plateau.n_clusters == 2
+        # The suggested eps must indeed yield 2 clusters exactly.
+        from repro.algorithms.exact_grid import exact_grid_dbscan
+
+        assert exact_grid_dbscan(pts, plateau.midpoint, 5).n_clusters == 2
+
+    def test_suggest_eps_none_when_everything_single(self):
+        pts = np.random.default_rng(7).normal(0, 0.1, size=(50, 2))
+        plateau = suggest_eps(pts, 3, [5.0, 10.0], min_clusters=2)
+        assert plateau is None

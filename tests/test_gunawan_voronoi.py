@@ -1,0 +1,59 @@
+"""Tests for the Voronoi-backed variant of Gunawan's 2D algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.brute import brute_dbscan
+from repro.algorithms.exact_grid import exact_grid_dbscan, gunawan_2d_dbscan
+from repro.errors import ParameterError
+
+from .conftest import make_blobs
+
+
+class TestVoronoiEdges:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_brute(self, seed):
+        pts = make_blobs(180, 2, 3, spread=1.2, domain=35.0, seed=seed)
+        voronoi = gunawan_2d_dbscan(pts, 2.5, 5, edges="voronoi")
+        reference = brute_dbscan(pts, 2.5, 5)
+        assert voronoi.same_clusters(reference)
+        assert (voronoi.core_mask == reference.core_mask).all()
+
+    def test_matches_kdtree_variant(self):
+        pts = make_blobs(150, 2, 4, spread=1.0, domain=30.0, seed=7)
+        a = gunawan_2d_dbscan(pts, 2.0, 4, edges="voronoi")
+        b = gunawan_2d_dbscan(pts, 2.0, 4, edges="kdtree")
+        assert a.same_clusters(b)
+
+    def test_meta_records_edges(self):
+        pts = make_blobs(60, 2, 2, spread=1.0, domain=15.0, seed=8)
+        res = gunawan_2d_dbscan(pts, 2.0, 4, edges="voronoi")
+        assert res.meta["edges"] == "voronoi"
+
+    def test_bad_edges_value(self):
+        with pytest.raises(ValueError):
+            gunawan_2d_dbscan(np.zeros((5, 2)), 1.0, 2, edges="rtree")
+
+    def test_voronoi_strategy_rejects_3d(self):
+        pts = make_blobs(60, 3, 2, spread=1.0, domain=15.0, seed=9)
+        with pytest.raises(ParameterError):
+            exact_grid_dbscan(pts, 2.0, 4, bcp_strategy="voronoi")
+
+    def test_boundary_pair_at_eps(self):
+        # Two 10-point columns whose closest cross pair is exactly at eps:
+        # the Voronoi edge test must include it.
+        left = np.column_stack([np.zeros(10), np.linspace(0, 0.9, 10)])
+        right = left + [1.0, 0.0]
+        pts = np.vstack([left, right])
+        res = gunawan_2d_dbscan(pts, 1.0, 4, edges="voronoi")
+        ref = brute_dbscan(pts, 1.0, 4)
+        assert res.same_clusters(ref)
+        assert res.n_clusters == 1
+
+    def test_collinear_cells(self):
+        # Cells whose core points are collinear exercise the degenerate
+        # Voronoi fallback.
+        pts = np.column_stack([np.linspace(0, 9, 40), np.zeros(40)])
+        res = gunawan_2d_dbscan(pts, 1.0, 3, edges="voronoi")
+        ref = brute_dbscan(pts, 1.0, 3)
+        assert res.same_clusters(ref)

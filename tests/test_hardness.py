@@ -1,0 +1,185 @@
+"""Tests for the hardness machinery: USEC, Lemma 4, Hopcroft, lifting map."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.api import dbscan
+from repro.algorithms.approx import approx_dbscan
+from repro.errors import DataError, ParameterError
+from repro.hardness import hopcroft as hp
+from repro.hardness import usec
+
+
+def grid_solver(P, eps, min_pts):
+    return dbscan(P, eps, min_pts, algorithm="grid")
+
+
+def brute_solver(P, eps, min_pts):
+    return dbscan(P, eps, min_pts, algorithm="brute")
+
+
+class TestUSECInstance:
+    def test_size(self):
+        inst = usec.USECInstance(np.zeros((3, 2)), np.ones((4, 2)), 1.0)
+        assert inst.size == 7
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DataError):
+            usec.USECInstance(np.zeros((3, 2)), np.ones((4, 3)), 1.0)
+
+    def test_bad_radius(self):
+        with pytest.raises(ParameterError):
+            usec.USECInstance(np.zeros((3, 2)), np.ones((4, 2)), 0.0)
+
+
+class TestUSECBrute:
+    def test_yes_instance(self):
+        inst = usec.USECInstance(
+            np.array([[0.0, 0.0]]), np.array([[0.5, 0.0]]), 1.0
+        )
+        assert usec.usec_brute(inst)
+
+    def test_no_instance(self):
+        inst = usec.USECInstance(
+            np.array([[0.0, 0.0]]), np.array([[5.0, 0.0]]), 1.0
+        )
+        assert not usec.usec_brute(inst)
+
+    def test_boundary_inclusive(self):
+        inst = usec.USECInstance(
+            np.array([[0.0, 0.0]]), np.array([[1.0, 0.0]]), 1.0
+        )
+        assert usec.usec_brute(inst)
+
+
+class TestLemma4Reduction:
+    """The executable proof: USEC via any DBSCAN algorithm == brute USEC."""
+
+    @pytest.mark.parametrize("solver", [grid_solver, brute_solver])
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_instances_3d(self, solver, seed):
+        inst = usec.random_instance(40, 30, 3, radius=20.0, seed=seed)
+        assert usec.usec_via_dbscan(inst, solver) == usec.usec_brute(inst)
+
+    @pytest.mark.parametrize("d", [2, 3, 4, 5])
+    def test_dimensions(self, d):
+        for seed in range(4):
+            inst = usec.random_instance(30, 20, d, radius=35.0, seed=seed)
+            assert usec.usec_via_dbscan(inst, grid_solver) == usec.usec_brute(inst)
+
+    @pytest.mark.parametrize("answer", [True, False])
+    def test_planted_instances(self, answer):
+        for seed in range(5):
+            inst = usec.planted_instance(25, 12, 3, radius=10.0, answer=answer, seed=seed)
+            assert usec.usec_brute(inst) == answer
+            assert usec.usec_via_dbscan(inst, grid_solver) == answer
+
+    def test_chained_coverage_still_detected(self):
+        # The reduction must answer yes even when the covered point connects
+        # to the centre only through other points (the "Case 1" chain of the
+        # Lemma 4 proof): point p in ball of c, and extra points between.
+        points = np.array([[0.0, 0.0], [0.8, 0.0]])
+        centers = np.array([[1.5, 0.0]])
+        inst = usec.USECInstance(points, centers, 1.0)
+        assert usec.usec_brute(inst)  # (0.8,0) is within 1.0 of (1.5,0)
+        assert usec.usec_via_dbscan(inst, grid_solver)
+
+    def test_no_false_positive_through_point_chains(self):
+        # Points chained among themselves, but none inside any ball:
+        # must answer no even though all points form one cluster.
+        points = np.array([[0.0, 0.0], [0.9, 0.0], [1.8, 0.0]])
+        centers = np.array([[10.0, 0.0]])
+        inst = usec.USECInstance(points, centers, 1.0)
+        assert not usec.usec_brute(inst)
+        assert not usec.usec_via_dbscan(inst, grid_solver)
+
+    def test_center_chains_no_false_positive(self):
+        # Centres chained among themselves must not create a yes either.
+        points = np.array([[10.0, 10.0]])
+        centers = np.array([[0.0, 0.0], [0.9, 0.0]])
+        inst = usec.USECInstance(points, centers, 1.0)
+        assert not usec.usec_via_dbscan(inst, grid_solver)
+
+    def test_approx_dbscan_as_solver_on_robust_instances(self):
+        # rho-approximate DBSCAN also works as the black box when the
+        # instance is not adversarially close to the boundary.
+        def approx_solver(P, eps, min_pts):
+            return approx_dbscan(P, eps, min_pts, rho=0.001)
+
+        for seed in range(5):
+            inst = usec.planted_instance(25, 12, 3, radius=10.0, answer=True, seed=seed)
+            assert usec.usec_via_dbscan(inst, approx_solver)
+
+
+class TestHopcroft:
+    def test_brute_incident(self):
+        inst = hp.HopcroftInstance(
+            np.array([[1.0, 1.0]]), (hp.Line(1.0, -1.0, 0.0),)  # y = x
+        )
+        assert hp.hopcroft_brute(inst, tol=0.0)
+
+    def test_brute_not_incident(self):
+        inst = hp.HopcroftInstance(
+            np.array([[1.0, 2.5]]), (hp.Line(1.0, -1.0, 0.0),)
+        )
+        assert not hp.hopcroft_brute(inst)
+
+    def test_exact_int(self):
+        assert hp.hopcroft_exact_int([(2, 3)], [(3, -2, 0)])  # 3*2 - 2*3 = 0
+        assert not hp.hopcroft_exact_int([(2, 3)], [(1, 0, 5)])
+
+    def test_degenerate_line_rejected(self):
+        with pytest.raises(DataError):
+            hp.Line(0.0, 0.0, 1.0)
+
+    @pytest.mark.parametrize("incident", [True, False])
+    def test_random_planted(self, incident):
+        for seed in range(8):
+            inst = hp.random_instance(25, 10, incident=incident, seed=seed)
+            assert hp.hopcroft_brute(inst) == incident
+
+
+class TestLiftingMap:
+    def test_point_on_circle_iff_lift_on_plane_exact(self):
+        # Verify the algebraic identity with rational arithmetic.
+        circle = hp.Circle(Fraction(3), Fraction(4), Fraction(5))
+        plane = hp.lift_circle(circle)
+        on = (Fraction(0), Fraction(0))          # 3^2+4^2 = 5^2: on the circle
+        off = (Fraction(1), Fraction(0))
+        for (x, y), expect in ((on, True), (off, False)):
+            z = x * x + y * y
+            value = plane.u * x + plane.v * y + plane.w * z + plane.t
+            assert (value == 0) == expect
+
+    def test_lift_incidence_matrix(self):
+        rng = np.random.default_rng(0)
+        circles = [hp.Circle(1.0, 2.0, 2.0), hp.Circle(-3.0, 0.0, 1.0)]
+        # Points: one exactly on each circle, several off.
+        pts = np.array([
+            [1.0, 4.0],    # on circle 1 (distance 2 from (1,2))
+            [-2.0, 0.0],   # on circle 2
+            [10.0, 10.0],  # off both
+        ])
+        lifted, planes = hp.lift_incidence(pts, circles)
+        values = np.array([[pl.evaluate(p) for pl in planes] for p in lifted])
+        assert abs(values[0, 0]) < 1e-9
+        assert abs(values[1, 1]) < 1e-9
+        assert abs(values[2, 0]) > 1e-6 and abs(values[2, 1]) > 1e-6
+
+    def test_inside_disk_is_below_plane(self):
+        circle = hp.Circle(0.0, 0.0, 2.0)
+        plane = hp.lift_circle(circle)
+        inside = hp.lift_point(0.5, 0.5)
+        outside = hp.lift_point(5.0, 0.0)
+        assert plane.evaluate(inside) < 0
+        assert plane.evaluate(outside) > 0
+
+    def test_lift_rejects_bad_shape(self):
+        with pytest.raises(DataError):
+            hp.lift_incidence(np.zeros((3, 3)), [hp.Circle(0, 0, 1)])
+
+    def test_circle_needs_positive_radius(self):
+        with pytest.raises(DataError):
+            hp.Circle(0.0, 0.0, 0.0)

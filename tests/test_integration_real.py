@@ -1,0 +1,77 @@
+"""Integration: the full algorithm battery on paper-shaped workloads.
+
+Cross-algorithm equivalence and the sandwich guarantee, exercised on the
+seed-spreader data and all three real-dataset stand-ins (not just the
+synthetic blobs the unit tests use).
+"""
+
+import numpy as np
+import pytest
+
+from repro import approx_dbscan, dbscan
+from repro.data import farm_like, household_like, pamap2_like, seed_spreader
+from repro.evaluation import adjusted_rand_index, sandwich_holds
+
+DATASETS = {
+    "ss3d": lambda n: seed_spreader(n, 3, seed=101).points,
+    "ss5d": lambda n: seed_spreader(n, 5, seed=102).points,
+    "pamap2": lambda n: pamap2_like(n, seed=103),
+    "farm": lambda n: farm_like(n, seed=104),
+    "household": lambda n: household_like(n, seed=105),
+}
+
+EPS = 8000.0
+MIN_PTS = 8
+N = 600
+
+
+@pytest.fixture(scope="module")
+def points_by_name():
+    return {name: gen(N) for name, gen in DATASETS.items()}
+
+
+@pytest.mark.parametrize("name", list(DATASETS))
+def test_all_exact_algorithms_agree(name, points_by_name):
+    pts = points_by_name[name]
+    reference = dbscan(pts, EPS, MIN_PTS, algorithm="brute")
+    for algo in ("grid", "kdd96", "cit08"):
+        got = dbscan(pts, EPS, MIN_PTS, algorithm=algo)
+        assert got.same_clusters(reference), (name, algo)
+        assert (got.core_mask == reference.core_mask).all()
+
+
+@pytest.mark.parametrize("name", list(DATASETS))
+@pytest.mark.parametrize("rho", [0.001, 0.1])
+def test_sandwich_on_paper_workloads(name, rho, points_by_name):
+    pts = points_by_name[name]
+    approx = approx_dbscan(pts, EPS, MIN_PTS, rho=rho)
+    exact = dbscan(pts, EPS, MIN_PTS, algorithm="brute")
+    inflated = dbscan(pts, EPS * (1 + rho), MIN_PTS, algorithm="brute")
+    assert sandwich_holds(exact, approx, inflated), name
+
+
+@pytest.mark.parametrize("name", list(DATASETS))
+def test_default_rho_high_agreement(name, points_by_name):
+    pts = points_by_name[name]
+    approx = approx_dbscan(pts, EPS, MIN_PTS, rho=0.001)
+    exact = dbscan(pts, EPS, MIN_PTS)
+    # Not necessarily equal (eps may sit near a boundary on a given
+    # dataset), but agreement must be near-perfect.
+    assert adjusted_rand_index(approx, exact) > 0.99
+
+
+def test_scaled_minpts_consistency():
+    # Raising MinPts can only shrink the core set.
+    pts = seed_spreader(800, 3, seed=106).points
+    small = dbscan(pts, EPS, 5)
+    large = dbscan(pts, EPS, 25)
+    assert (large.core_mask <= small.core_mask).all()
+    assert large.noise_mask.sum() >= small.noise_mask.sum()
+
+
+def test_eps_monotonicity_of_cores():
+    # Growing eps can only grow the core set.
+    pts = pamap2_like(700, seed=107)
+    small = dbscan(pts, 4000.0, MIN_PTS)
+    large = dbscan(pts, 9000.0, MIN_PTS)
+    assert (small.core_mask <= large.core_mask).all()

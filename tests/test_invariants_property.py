@@ -1,0 +1,128 @@
+"""Additional hypothesis property tests on global invariants.
+
+These complement the per-module suites with cross-cutting invariants the
+paper's definitions imply but no single module owns.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import approx_dbscan, dbscan
+from repro.core.serialize import from_dict, to_dict
+
+points_2d = arrays(
+    np.float64,
+    st.tuples(st.integers(2, 40), st.just(2)),
+    elements=st.floats(0, 20),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(pts=points_2d, eps=st.floats(0.5, 6.0), min_pts=st.integers(1, 6))
+def test_result_internal_consistency(pts, eps, min_pts):
+    """labels / clusters / masks must all tell the same story."""
+    result = dbscan(pts, eps, min_pts)
+    # Every labelled point is in the cluster its label names.
+    for i in range(result.n):
+        label = int(result.labels[i])
+        if label == -1:
+            assert not any(i in c for c in result.clusters)
+        else:
+            assert i in result.clusters[label]
+            assert label == min(result.memberships_of(i))
+    # Core + border + noise partition the points.
+    total = (
+        int(result.core_mask.sum())
+        + int(result.border_mask.sum())
+        + int(result.noise_mask.sum())
+    )
+    assert total == result.n
+    # Every cluster contains at least one core point (Definition 3).
+    for cluster in result.clusters:
+        assert any(result.core_mask[i] for i in cluster)
+
+
+@settings(max_examples=25, deadline=None)
+@given(pts=points_2d, eps=st.floats(0.5, 5.0), min_pts=st.integers(1, 5))
+def test_min_pts_monotonicity(pts, eps, min_pts):
+    """Raising MinPts shrinks the core set and never creates new reachability."""
+    small = dbscan(pts, eps, min_pts)
+    large = dbscan(pts, eps, min_pts + 2)
+    assert (large.core_mask <= small.core_mask).all()
+    # Points clustered under the stricter setting are clustered under the
+    # looser one too.
+    assert ((large.labels != -1) <= (small.labels != -1)).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(pts=points_2d, eps=st.floats(0.5, 4.0), min_pts=st.integers(1, 5))
+def test_eps_monotonicity_of_core_and_noise(pts, eps, min_pts):
+    small = dbscan(pts, eps, min_pts)
+    large = dbscan(pts, eps * 1.5, min_pts)
+    assert (small.core_mask <= large.core_mask).all()
+    assert (large.noise_mask <= small.noise_mask).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(pts=points_2d, eps=st.floats(0.5, 5.0), min_pts=st.integers(1, 5))
+def test_serialization_roundtrip_property(pts, eps, min_pts):
+    result = dbscan(pts, eps, min_pts)
+    restored = from_dict(to_dict(result))
+    assert restored == result
+    assert restored.labels.tolist() == result.labels.tolist()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    pts=points_2d,
+    eps=st.floats(0.5, 5.0),
+    min_pts=st.integers(1, 5),
+    rho=st.sampled_from([0.01, 0.1]),
+)
+def test_approx_cluster_count_bounded_by_exact(pts, eps, min_pts, rho):
+    """The approximate result never has more clusters than exact DBSCAN
+    (it can only merge, never split — a corollary of Theorem 3)."""
+    exact = dbscan(pts, eps, min_pts)
+    approx = approx_dbscan(pts, eps, min_pts, rho=rho)
+    assert approx.n_clusters <= exact.n_clusters
+    # And the two agree exactly on what is core.
+    assert (approx.core_mask == exact.core_mask).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    pts=points_2d,
+    eps=st.floats(0.5, 5.0),
+    min_pts=st.integers(1, 5),
+)
+def test_translation_invariance(pts, eps, min_pts):
+    """DBSCAN's output is invariant under translation of the input.
+
+    Instances with a pairwise distance within a few ulps of eps are
+    excluded: at the exact boundary, float translation legitimately flips
+    the closed-ball membership.
+    """
+    diff = pts[:, None, :] - pts[None, :, :]
+    dists = np.sqrt((diff ** 2).sum(axis=2))
+    assume(not np.any(np.abs(dists - eps) < 1e-6 * (1 + eps)))
+    base = dbscan(pts, eps, min_pts)
+    shifted = dbscan(pts + 1000.0, eps, min_pts)
+    assert base.same_clusters(shifted)
+    assert (base.core_mask == shifted.core_mask).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    pts=points_2d,
+    eps=st.floats(0.5, 5.0),
+    min_pts=st.integers(1, 5),
+    scale=st.sampled_from([0.25, 4.0]),
+)
+def test_scale_equivariance(pts, eps, min_pts, scale):
+    """Scaling points and eps together leaves the clustering unchanged."""
+    base = dbscan(pts, eps, min_pts)
+    scaled = dbscan(pts * scale, eps * scale, min_pts)
+    assert base.same_clusters(scaled)

@@ -1,0 +1,78 @@
+"""Algorithm-specific tests for the expansion baselines (KDD96, CIT08)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.cit08 import _EpsGrid, cit08_dbscan
+from repro.algorithms.kdd96 import kdd96_dbscan
+from repro.errors import ParameterError, TimeoutExceeded
+
+from .conftest import make_blobs
+
+
+class TestKDD96:
+    def test_unknown_index_rejected(self):
+        with pytest.raises(ParameterError):
+            kdd96_dbscan(np.zeros((3, 2)), 1.0, 2, index="btree")
+
+    def test_one_range_query_per_point(self):
+        # The defining cost profile of the original algorithm.
+        pts = make_blobs(120, 2, 2, spread=1.0, domain=25.0, seed=0)
+        res = kdd96_dbscan(pts, 2.0, 4)
+        assert res.meta["range_queries"] == len(pts)
+
+    def test_timeout_raises(self):
+        # A dataset where every query returns everything, with a zero
+        # budget, must abort with TimeoutExceeded.
+        pts = np.zeros((500, 2))
+        with pytest.raises(TimeoutExceeded):
+            kdd96_dbscan(pts, 1.0, 2, time_budget=0.0)
+
+    def test_no_timeout_when_fast(self):
+        pts = make_blobs(80, 2, 2, spread=1.0, domain=20.0, seed=1)
+        res = kdd96_dbscan(pts, 2.0, 4, time_budget=60.0)
+        assert res.n >= 1
+
+    def test_noise_relabelled_as_border(self):
+        # A point visited before its cluster's core must end up a border
+        # point, not noise (the classic NOISE -> border revision).
+        # Construction: scan order hits the border point first.
+        border = np.array([[0.0, 0.0]])
+        blob = np.column_stack([np.linspace(0.9, 1.35, 10), np.zeros(10)])
+        pts = np.vstack([border, blob])
+        res = kdd96_dbscan(pts, 1.0, 5)
+        assert not res.core_mask[0]
+        assert res.labels[0] != -1  # border, not noise
+
+
+class TestCIT08:
+    def test_grid_cells_metadata(self):
+        pts = make_blobs(100, 2, 2, spread=1.0, domain=25.0, seed=2)
+        res = cit08_dbscan(pts, 2.0, 4)
+        assert res.meta["grid_cells"] >= 1
+
+    def test_timeout_raises(self):
+        pts = np.zeros((500, 2))
+        with pytest.raises(TimeoutExceeded):
+            cit08_dbscan(pts, 1.0, 2, time_budget=0.0)
+
+    def test_region_query_matches_brute(self):
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(0, 20, size=(150, 3))
+        eps = 2.5
+        grid = _EpsGrid(pts, eps)
+        for i in range(0, 150, 17):
+            got = sorted(grid.region_query(i).tolist())
+            sq = ((pts - pts[i]) ** 2).sum(axis=1)
+            expected = np.nonzero(sq <= eps * eps)[0].tolist()
+            assert got == expected
+
+    def test_region_query_includes_self(self):
+        pts = np.array([[5.0, 5.0], [100.0, 100.0]])
+        grid = _EpsGrid(pts, 1.0)
+        assert 0 in grid.region_query(0).tolist()
+
+    def test_eps_grid_cell_side_is_eps(self):
+        pts = np.array([[0.5, 0.5], [1.5, 0.5]])
+        grid = _EpsGrid(pts, 1.0)
+        assert len(grid.cells) == 2  # side 1.0 puts them in adjacent cells

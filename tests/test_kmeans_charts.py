@@ -1,0 +1,122 @@
+"""Tests for the k-means baseline and the ASCII chart renderers."""
+
+import numpy as np
+import pytest
+
+from repro.data import rings, snakes
+from repro.errors import ParameterError
+from repro.evaluation.ascii_chart import line_chart, sawtooth_chart
+from repro.extensions.kmeans import kmeans, purity
+
+from .conftest import make_blobs
+
+
+class TestKMeans:
+    def test_separates_well_separated_blobs(self):
+        rng = np.random.default_rng(0)
+        pts = np.vstack([
+            rng.normal(0, 0.5, size=(50, 2)),
+            rng.normal(20, 0.5, size=(50, 2)),
+        ])
+        res = kmeans(pts, 2, seed=1)
+        assert res.k == 2
+        assert len(set(res.labels[:50])) == 1
+        assert res.labels[0] != res.labels[50]
+
+    def test_inertia_decreases_with_more_centers(self):
+        pts = make_blobs(200, 2, 4, spread=1.5, domain=40.0, seed=2)
+        inertias = [kmeans(pts, k, seed=3).inertia for k in (1, 2, 4, 8)]
+        assert all(a >= b for a, b in zip(inertias, inertias[1:]))
+
+    def test_k_equals_n(self):
+        pts = np.arange(10, dtype=float).reshape(-1, 1) * 5
+        res = kmeans(pts, 10, seed=4)
+        assert res.inertia == pytest.approx(0.0)
+
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            kmeans(np.zeros((5, 2)), 0)
+        with pytest.raises(ParameterError):
+            kmeans(np.zeros((5, 2)), 6)
+
+    def test_deterministic_under_seed(self):
+        pts = make_blobs(120, 2, 3, spread=1.0, domain=25.0, seed=5)
+        a = kmeans(pts, 3, seed=42)
+        b = kmeans(pts, 3, seed=42)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_duplicate_points(self):
+        pts = np.vstack([np.zeros((30, 2)), np.ones((30, 2)) * 9])
+        res = kmeans(pts, 2, seed=6)
+        assert res.inertia == pytest.approx(0.0)
+
+    def test_figure1_claim_dbscan_beats_kmeans_on_shapes(self):
+        """The paper's opening claim, as a test."""
+        from repro.algorithms.approx import approx_dbscan
+
+        for pts, prov, eps in (
+            (*snakes(600, n_snakes=4, seed=7), 0.6),
+            (*rings(600, radii=(1.0, 2.2, 3.4), noise=0.05, seed=8), 0.35),
+        ):
+            k = len(set(prov.tolist()))
+            db = approx_dbscan(pts, eps, 5, rho=0.001)
+            km = kmeans(pts, k, seed=9)
+            assert purity(db.labels, prov) > purity(km.labels, prov)
+
+
+class TestPurity:
+    def test_perfect(self):
+        labels = np.array([0, 0, 1, 1])
+        prov = np.array([5, 5, 7, 7])
+        assert purity(labels, prov) == 1.0
+
+    def test_mixed(self):
+        labels = np.array([0, 0, 0, 0])
+        prov = np.array([1, 1, 2, 2])
+        assert purity(labels, prov) == 0.5
+
+    def test_noise_counts_as_pure(self):
+        labels = np.array([-1, -1, 0, 0])
+        prov = np.array([3, 4, 5, 5])
+        assert purity(labels, prov) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ParameterError):
+            purity(np.zeros(3), np.zeros(4))
+
+
+class TestLineChart:
+    def test_renders_series(self):
+        chart = line_chart([1, 2, 4], {"a": [0.1, 0.2, 0.4], "b": [1.0, 2.0, 4.0]})
+        assert "o = a" in chart and "x = b" in chart
+        assert chart.count("\n") >= 10
+
+    def test_skips_none(self):
+        chart = line_chart([1, 2], {"a": [0.5, None]})
+        assert "o" in chart
+
+    def test_empty_data(self):
+        assert line_chart([], {}) == "(no data)"
+        assert line_chart([1], {"a": [None]}) == "(no data)"
+
+    def test_linear_scale(self):
+        chart = line_chart([1, 2], {"a": [1.0, 2.0]}, logy=False)
+        assert "log y" not in chart
+
+    def test_constant_series(self):
+        chart = line_chart([1, 2, 3], {"a": [1.0, 1.0, 1.0]})
+        assert "o" in chart
+
+
+class TestSawtoothChart:
+    def test_renders(self):
+        chart = sawtooth_chart([1000, 2000, 3000], [0.1, 0.0, 0.05])
+        assert chart.count("*") == 3
+
+    def test_empty(self):
+        assert sawtooth_chart([], []) == "(no data)"
+
+    def test_caps_at_top(self):
+        chart = sawtooth_chart([1.0], [5.0], rho_top=0.1)
+        first_data_row = chart.splitlines()[1]
+        assert "*" in first_data_row  # clipped to the top band

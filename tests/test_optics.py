@@ -1,0 +1,112 @@
+"""Tests for the OPTICS extension (ordering, extraction, profile)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.brute import brute_dbscan
+from repro.errors import ParameterError
+from repro.extensions.optics import (
+    UNDEFINED,
+    extract_dbscan,
+    optics,
+    reachability_profile,
+)
+
+from .conftest import make_blobs
+
+
+def core_partition(result):
+    cores = set(np.nonzero(result.core_mask)[0].tolist())
+    return {frozenset(c & cores) for c in result.clusters} - {frozenset()}
+
+
+class TestOrdering:
+    def test_every_point_appears_once(self):
+        pts = make_blobs(150, 2, 3, spread=1.0, domain=30.0, seed=0)
+        res = optics(pts, eps=3.0, min_pts=5)
+        assert sorted(res.order.tolist()) == list(range(len(pts)))
+
+    def test_core_distance_matches_definition(self):
+        pts = make_blobs(120, 2, 2, spread=1.0, domain=25.0, seed=1)
+        eps, min_pts = 3.0, 6
+        res = optics(pts, eps, min_pts)
+        for i in range(0, len(pts), 13):
+            dist = np.sort(np.linalg.norm(pts - pts[i], axis=1))
+            within = dist[dist <= eps]
+            expected = dist[min_pts - 1] if len(within) >= min_pts else UNDEFINED
+            assert res.core_distance[i] == pytest.approx(expected)
+
+    def test_first_point_has_undefined_reachability(self):
+        pts = make_blobs(80, 2, 2, spread=1.0, domain=20.0, seed=2)
+        res = optics(pts, 2.5, 4)
+        assert res.reachability[res.order[0]] == UNDEFINED
+
+    def test_reachability_at_least_core_distance_of_predecessors(self):
+        # Reachability is max(dist, core distance), so it can never drop
+        # below the smallest core distance in the dataset.
+        pts = make_blobs(100, 2, 2, spread=1.0, domain=20.0, seed=3)
+        res = optics(pts, 3.0, 5)
+        finite = np.isfinite(res.reachability)
+        if finite.any():
+            min_core = res.core_distance[np.isfinite(res.core_distance)].min()
+            assert res.reachability[finite].min() >= min_core - 1e-12
+
+    def test_deterministic(self):
+        pts = make_blobs(90, 2, 2, spread=1.0, domain=20.0, seed=4)
+        a = optics(pts, 2.0, 4)
+        b = optics(pts, 2.0, 4)
+        assert np.array_equal(a.order, b.order)
+        assert np.allclose(a.reachability, b.reachability, equal_nan=True)
+
+
+class TestExtractDBSCAN:
+    @pytest.mark.parametrize("factor", [1.0, 0.8, 0.5])
+    def test_core_partition_matches_dbscan(self, factor):
+        pts = make_blobs(200, 2, 3, spread=1.2, domain=35.0, seed=5)
+        eps, min_pts = 3.0, 5
+        res = optics(pts, eps, min_pts)
+        extracted = extract_dbscan(res, eps * factor)
+        reference = brute_dbscan(pts, eps * factor, min_pts)
+        assert (extracted.core_mask == reference.core_mask).all()
+        assert core_partition(extracted) == core_partition(reference)
+
+    def test_extraction_above_generating_radius_rejected(self):
+        pts = make_blobs(50, 2, 2, spread=1.0, domain=15.0, seed=6)
+        res = optics(pts, 2.0, 4)
+        with pytest.raises(ParameterError):
+            extract_dbscan(res, 3.0)
+
+    def test_noise_matches_dbscan(self):
+        pts = make_blobs(150, 3, 2, spread=1.0, domain=30.0, seed=7)
+        res = optics(pts, 2.5, 5)
+        extracted = extract_dbscan(res, 2.5)
+        reference = brute_dbscan(pts, 2.5, 5)
+        assert (extracted.noise_mask == reference.noise_mask).all()
+
+    def test_one_run_many_extractions(self):
+        pts = make_blobs(130, 2, 3, spread=1.0, domain=25.0, seed=8)
+        res = optics(pts, 4.0, 5)
+        counts = [extract_dbscan(res, e).n_clusters for e in (1.0, 2.0, 4.0)]
+        refs = [brute_dbscan(pts, e, 5).n_clusters for e in (1.0, 2.0, 4.0)]
+        assert counts == refs
+
+
+class TestReachabilityProfile:
+    def test_renders_text(self):
+        pts = make_blobs(100, 2, 2, spread=0.8, domain=20.0, seed=9)
+        res = optics(pts, 3.0, 5)
+        profile = reachability_profile(res, width=40, height=6)
+        lines = profile.splitlines()
+        assert len(lines) == 7
+        assert set(profile) <= set("# -\n")
+
+    def test_two_blobs_show_a_separator_peak(self):
+        rng = np.random.default_rng(10)
+        pts = np.vstack([
+            rng.normal(0, 0.4, size=(60, 2)),
+            rng.normal(12, 0.4, size=(60, 2)),
+        ])
+        res = optics(pts, 20.0, 5)
+        profile = reachability_profile(res, width=30, height=8)
+        top_row = profile.splitlines()[0]
+        assert "#" in top_row  # the inter-blob jump reaches the top band

@@ -1,0 +1,49 @@
+"""Tests for the quick experiment battery (repro.evaluation.report)."""
+
+from repro.evaluation import report
+
+
+class TestChecks:
+    def test_sandwich_check(self):
+        c = report._theorem3()
+        assert c.holds
+        assert "Theorem 3" in c.experiment
+
+    def test_lemma4_check(self):
+        c = report._lemma4()
+        assert c.holds
+
+    def test_figure10_check(self):
+        c = report._figure10()
+        assert c.holds
+
+
+class TestRendering:
+    def test_markdown_table(self):
+        checks = [
+            report.Check("X", "expect", "got", True),
+            report.Check("Y", "expect", "got", False),
+        ]
+        text = report.render_markdown(checks)
+        assert "| X | expect | got | yes |" in text
+        assert "| Y | expect | got | **NO** |" in text
+        assert text.startswith("# Experiment battery")
+
+    def test_main_writes_file(self, tmp_path, monkeypatch):
+        # Patch the battery to two instant checks so the CLI path is fast.
+        monkeypatch.setattr(
+            report, "ALL_CHECKS",
+            (lambda: report.Check("a", "b", "c", True),),
+        )
+        out = str(tmp_path / "summary.md")
+        assert report.main([out]) == 0
+        with open(out) as fh:
+            assert "| a | b | c | yes |" in fh.read()
+
+    def test_main_nonzero_on_failure(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            report, "ALL_CHECKS",
+            (lambda: report.Check("a", "b", "c", False),),
+        )
+        assert report.main([]) == 1
+        assert "**NO**" in capsys.readouterr().out

@@ -1,0 +1,119 @@
+"""Tests for the seed-spreader generator (Section 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro import config
+from repro.data.seed_spreader import figure8_dataset, seed_spreader
+from repro.errors import ParameterError
+
+
+class TestBasics:
+    def test_cardinality_and_shape(self):
+        ds = seed_spreader(5000, 3, seed=0)
+        assert ds.points.shape == (5000, 3)
+        assert ds.n == 5000 and ds.dim == 3
+
+    def test_deterministic_under_seed(self):
+        a = seed_spreader(1000, 2, seed=42)
+        b = seed_spreader(1000, 2, seed=42)
+        assert np.array_equal(a.points, b.points)
+        assert np.array_equal(a.restart_ids, b.restart_ids)
+
+    def test_different_seeds_differ(self):
+        a = seed_spreader(500, 2, seed=1)
+        b = seed_spreader(500, 2, seed=2)
+        assert not np.array_equal(a.points, b.points)
+
+    def test_noise_count(self):
+        ds = seed_spreader(50_000, 3, seed=3)
+        assert ds.n_noise == round(50_000 * config.SS_NOISE_FRACTION)
+        assert (ds.restart_ids == -1).sum() == ds.n_noise
+
+    def test_restart_ids_contiguous(self):
+        ds = seed_spreader(3000, 2, seed=4, noise_fraction=0.0)
+        ids = ds.restart_ids
+        assert ids.min() == 0
+        assert set(ids.tolist()) == set(range(ds.n_restarts))
+
+    def test_about_ten_restarts_by_default(self):
+        counts = [seed_spreader(20_000, 3, seed=s).n_restarts for s in range(5)]
+        assert 3 <= int(np.mean(counts)) <= 20  # expectation is 10
+
+    def test_forced_first_restart(self):
+        ds = seed_spreader(10, 2, seed=5, noise_fraction=0.0)
+        assert ds.restart_ids[0] == 0
+
+
+class TestGeometry:
+    def test_points_near_cluster_are_tight(self):
+        # Points of one restart segment between shifts stay within the
+        # vicinity radius of the (moving) spreader; consecutive points of
+        # the same restart are therefore close.
+        ds = seed_spreader(2000, 2, seed=6, noise_fraction=0.0)
+        pts, ids = ds.points, ds.restart_ids
+        same = ids[:-1] == ids[1:]
+        step = np.linalg.norm(pts[1:] - pts[:-1], axis=1)
+        # Within a restart, consecutive points are at most
+        # 2 * vicinity + shift apart.
+        bound = 2 * config.SS_VICINITY_RADIUS + 50.0 * 2 + 1e-9
+        assert (step[same] <= bound).all()
+
+    def test_clusters_denser_than_noise(self):
+        ds = seed_spreader(20_000, 3, seed=7)
+        pts = ds.points
+        cluster_pts = pts[ds.restart_ids >= 0]
+        # Mean nearest-neighbour distance of clustered points must be far
+        # below the uniform expectation.
+        sample = cluster_pts[:: max(1, len(cluster_pts) // 200)]
+        from repro.index.kdtree import KDTree
+
+        tree = KDTree(cluster_pts)
+        nn = [np.sqrt(tree.k_nearest(p, 2)[1][1]) for p in sample]
+        assert np.mean(nn) < 200.0  # clustered: ~tens; uniform 3D: ~2000+
+
+    def test_domain_mostly_respected(self):
+        # Shifts can wander slightly out of the domain; the bulk must be in.
+        ds = seed_spreader(5000, 3, seed=8)
+        inside = (
+            (ds.points >= -1000).all(axis=1)
+            & (ds.points <= config.DOMAIN_SIZE + 1000).all(axis=1)
+        )
+        assert inside.mean() > 0.95
+
+
+class TestParameters:
+    def test_invalid_n(self):
+        with pytest.raises(ParameterError):
+            seed_spreader(0, 2)
+
+    def test_invalid_d(self):
+        with pytest.raises(ParameterError):
+            seed_spreader(10, 0)
+
+    def test_invalid_noise_fraction(self):
+        with pytest.raises(ParameterError):
+            seed_spreader(10, 2, noise_fraction=1.0)
+
+    def test_invalid_counter(self):
+        with pytest.raises(ParameterError):
+            seed_spreader(10, 2, counter_reset=0)
+
+    def test_custom_shift_radius_recorded(self):
+        ds = seed_spreader(100, 2, shift_radius=7.0, seed=9)
+        assert ds.params["shift_radius"] == 7.0
+
+    def test_default_shift_radius_is_50d(self):
+        ds = seed_spreader(100, 4, seed=10)
+        assert ds.params["shift_radius"] == 200.0
+
+
+class TestFigure8:
+    def test_shape(self):
+        ds = figure8_dataset()
+        assert ds.points.shape == (1000, 2)
+        assert ds.n_noise == 0
+
+    def test_has_a_few_restarts(self):
+        ds = figure8_dataset()
+        assert 2 <= ds.n_restarts <= 10

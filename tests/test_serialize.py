@@ -1,0 +1,77 @@
+"""Tests for clustering-result persistence."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.exact_grid import exact_grid_dbscan
+from repro.core.result import Clustering
+from repro.core.serialize import from_dict, load_clustering, save_clustering, to_dict
+from repro.errors import DataError
+
+from .conftest import make_blobs
+
+
+def multi_membership_result():
+    # Border point 2 in both clusters — the hard case for round-trips.
+    mask = np.array([True, False, False, True])
+    return Clustering(4, [{0, 2}, {2, 3}], mask, meta={"algorithm": "handmade", "eps": 1.5})
+
+
+class TestDictRoundTrip:
+    def test_roundtrip_preserves_everything(self):
+        original = multi_membership_result()
+        restored = from_dict(to_dict(original))
+        assert restored == original
+        assert restored.meta["algorithm"] == "handmade"
+        assert restored.memberships_of(2) == (0, 1)
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(DataError):
+            from_dict({"format": "something/else"})
+
+    def test_numpy_meta_becomes_plain(self):
+        mask = np.array([True])
+        result = Clustering(1, [{0}], mask, meta={"eps": np.float64(2.0),
+                                                  "ids": np.array([1, 2])})
+        payload = to_dict(result)
+        assert payload["meta"]["eps"] == 2.0
+        assert payload["meta"]["ids"] == [1, 2]
+
+
+@pytest.mark.parametrize("ext", [".json", ".npz"])
+class TestFileRoundTrip:
+    def test_handmade(self, tmp_path, ext):
+        original = multi_membership_result()
+        path = str(tmp_path / f"result{ext}")
+        save_clustering(original, path)
+        restored = load_clustering(path)
+        assert restored == original
+        assert restored.memberships_of(2) == (0, 1)
+
+    def test_real_clustering(self, tmp_path, ext):
+        pts = make_blobs(150, 3, 3, spread=1.2, domain=30.0, seed=0)
+        original = exact_grid_dbscan(pts, 2.5, 5)
+        path = str(tmp_path / f"result{ext}")
+        save_clustering(original, path)
+        restored = load_clustering(path)
+        assert restored.same_clusters(original)
+        assert (restored.core_mask == original.core_mask).all()
+        assert restored.meta["algorithm"] == "exact_grid"
+
+    def test_all_noise(self, tmp_path, ext):
+        original = Clustering(3, [], np.zeros(3, dtype=bool))
+        path = str(tmp_path / f"noise{ext}")
+        save_clustering(original, path)
+        restored = load_clustering(path)
+        assert restored.n_clusters == 0
+        assert restored.n == 3
+
+
+class TestErrors:
+    def test_unsupported_extension(self, tmp_path):
+        with pytest.raises(DataError):
+            save_clustering(multi_membership_result(), str(tmp_path / "x.pickle"))
+
+    def test_missing_file(self):
+        with pytest.raises(DataError):
+            load_clustering("/nonexistent/result.json")

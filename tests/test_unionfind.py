@@ -1,0 +1,146 @@
+"""Unit and property tests for the union-find structures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.unionfind import KeyedUnionFind, UnionFind
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind(5)
+        assert uf.n_components == 5
+        assert not uf.connected(0, 1)
+
+    def test_union_connects(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.connected(0, 1)
+        assert uf.n_components == 3
+
+    def test_union_idempotent(self):
+        uf = UnionFind(3)
+        uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.n_components == 2
+
+    def test_transitivity(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(3, 4)
+        assert uf.connected(0, 2)
+        assert not uf.connected(2, 3)
+
+    def test_self_union(self):
+        uf = UnionFind(2)
+        assert not uf.union(0, 0)
+        assert uf.n_components == 2
+
+    def test_components_ordering(self):
+        uf = UnionFind(6)
+        uf.union(5, 3)
+        uf.union(1, 4)
+        comps = uf.components()
+        # Ordered by smallest member; members sorted ascending.
+        assert comps == [[0], [1, 4], [2], [3, 5]]
+
+    def test_len(self):
+        assert len(UnionFind(7)) == 7
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_zero_size(self):
+        uf = UnionFind(0)
+        assert uf.n_components == 0
+        assert uf.components() == []
+
+    def test_find_path_compression_consistent(self):
+        uf = UnionFind(100)
+        for i in range(99):
+            uf.union(i, i + 1)
+        root = uf.find(0)
+        assert all(uf.find(i) == root for i in range(100))
+        assert uf.n_components == 1
+
+
+class TestKeyedUnionFind:
+    def test_add_and_contains(self):
+        uf = KeyedUnionFind()
+        uf.add(("a", 1))
+        assert ("a", 1) in uf
+        assert ("b", 2) not in uf
+
+    def test_union_registers_new_keys(self):
+        uf = KeyedUnionFind()
+        uf.union("x", "y")
+        assert uf.connected("x", "y")
+        assert len(uf) == 2
+
+    def test_connected_unknown_keys(self):
+        uf = KeyedUnionFind(["a"])
+        assert not uf.connected("a", "zzz")
+
+    def test_init_from_keys(self):
+        uf = KeyedUnionFind([(0, 0), (0, 1), (1, 1)])
+        assert len(uf) == 3
+        assert uf.n_components == 3
+
+    def test_add_idempotent(self):
+        uf = KeyedUnionFind()
+        first = uf.add("k")
+        second = uf.add("k")
+        assert first == second
+        assert len(uf) == 1
+
+    def test_component_labels_dense_and_deterministic(self):
+        uf = KeyedUnionFind(["a", "b", "c", "d"])
+        uf.union("a", "c")
+        labels = uf.component_labels()
+        assert set(labels.values()) == {0, 1, 2}
+        assert labels["a"] == labels["c"]
+        # First-appearance ordering: "a" (and "c") get 0, "b" gets 1, "d" 2.
+        assert labels["a"] == 0 and labels["b"] == 1 and labels["d"] == 2
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(1, 40),
+    unions=st.lists(st.tuples(st.integers(0, 39), st.integers(0, 39)), max_size=60),
+)
+def test_property_matches_graph_components(n, unions):
+    """Union-find must agree with a graph BFS on the same edges."""
+    uf = UnionFind(n)
+    adj = {i: set() for i in range(n)}
+    for a, b in unions:
+        if a < n and b < n:
+            uf.union(a, b)
+            adj[a].add(b)
+            adj[b].add(a)
+
+    # BFS components.
+    seen = [False] * n
+    components = 0
+    comp_id = [0] * n
+    for start in range(n):
+        if seen[start]:
+            continue
+        components += 1
+        stack = [start]
+        seen[start] = True
+        while stack:
+            u = stack.pop()
+            comp_id[u] = components
+            for v in adj[u]:
+                if not seen[v]:
+                    seen[v] = True
+                    stack.append(v)
+
+    assert uf.n_components == components
+    for i in range(n):
+        for j in range(i + 1, n):
+            assert uf.connected(i, j) == (comp_id[i] == comp_id[j])

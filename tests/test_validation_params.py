@@ -1,0 +1,116 @@
+"""Tests for input validation and the parameter objects."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import ApproxParams, DBSCANParams
+from repro.errors import DataError, ParameterError
+from repro.utils.validation import as_points, check_eps, check_min_pts, check_rho
+
+
+class TestAsPoints:
+    def test_list_of_tuples(self):
+        out = as_points([(1, 2), (3, 4)])
+        assert out.shape == (2, 2)
+        assert out.dtype == np.float64
+
+    def test_1d_becomes_column(self):
+        out = as_points([1.0, 2.0, 3.0])
+        assert out.shape == (3, 1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataError):
+            as_points(np.empty((0, 3)))
+
+    def test_rejects_zero_dims(self):
+        with pytest.raises(DataError):
+            as_points(np.empty((3, 0)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(DataError):
+            as_points([[1.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(DataError):
+            as_points([[np.inf, 1.0]])
+
+    def test_rejects_3d_array(self):
+        with pytest.raises(DataError):
+            as_points(np.zeros((2, 2, 2)))
+
+    def test_no_copy_by_default(self):
+        arr = np.zeros((3, 2), dtype=np.float64)
+        assert as_points(arr) is arr
+
+    def test_copy_when_requested(self):
+        arr = np.zeros((3, 2), dtype=np.float64)
+        assert as_points(arr, copy=True) is not arr
+
+    def test_int_input_converted(self):
+        out = as_points(np.array([[1, 2], [3, 4]]))
+        assert out.dtype == np.float64
+
+
+class TestScalarChecks:
+    @pytest.mark.parametrize("bad", [0.0, -1.0, np.nan, np.inf])
+    def test_eps_rejects(self, bad):
+        with pytest.raises(ParameterError):
+            check_eps(bad)
+
+    def test_eps_accepts(self):
+        assert check_eps(2) == 2.0
+
+    @pytest.mark.parametrize("bad", [0, -3, 2.5])
+    def test_min_pts_rejects(self, bad):
+        with pytest.raises(ParameterError):
+            check_min_pts(bad)
+
+    def test_min_pts_accepts_integral_float(self):
+        assert check_min_pts(4.0) == 4
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, np.nan])
+    def test_rho_rejects(self, bad):
+        with pytest.raises(ParameterError):
+            check_rho(bad)
+
+    def test_rho_accepts(self):
+        assert check_rho(0.001) == 0.001
+
+
+class TestDBSCANParams:
+    def test_valid(self):
+        p = DBSCANParams(1.5, 10)
+        assert p.eps == 1.5 and p.min_pts == 10
+
+    def test_invalid_eps(self):
+        with pytest.raises(ParameterError):
+            DBSCANParams(-1.0, 10)
+
+    def test_invalid_min_pts(self):
+        with pytest.raises(ParameterError):
+            DBSCANParams(1.0, 0)
+
+    def test_frozen(self):
+        p = DBSCANParams(1.0, 5)
+        with pytest.raises(AttributeError):
+            p.eps = 2.0
+
+    def test_inflated(self):
+        p = DBSCANParams(10.0, 5).inflated(0.1)
+        assert p.eps == pytest.approx(11.0)
+        assert p.min_pts == 5
+
+
+class TestApproxParams:
+    def test_valid(self):
+        p = ApproxParams(1.0, 5, 0.01)
+        assert p.rho == 0.01
+
+    def test_invalid_rho(self):
+        with pytest.raises(ParameterError):
+            ApproxParams(1.0, 5, 0.0)
+
+    def test_exact_slices(self):
+        p = ApproxParams(10.0, 5, 0.5)
+        assert p.exact == DBSCANParams(10.0, 5)
+        assert p.exact_inflated == DBSCANParams(15.0, 5)
