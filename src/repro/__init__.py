@@ -8,6 +8,9 @@ Highlights
   Gunawan's 2D algorithm, and a brute-force oracle).
 * :func:`repro.approx_dbscan` — rho-approximate DBSCAN (Theorem 4),
   expected linear time, with the sandwich quality guarantee of Theorem 3.
+* :func:`repro.run_resilient` — the degradation cascade of
+  :mod:`repro.runtime`: exact under budget, else rho-approximate, else a
+  subsampled run — degrade, don't die (see docs/ROBUSTNESS.md).
 * :mod:`repro.hardness` — executable Lemma 4: the reduction that makes any
   fast DBSCAN algorithm solve the USEC problem.
 * :mod:`repro.data` — the seed-spreader generator of Section 5.1 and
@@ -16,22 +19,37 @@ Highlights
   sweeps (Figure 10), collapsing-radius search, timing harness.
 """
 
-from repro.api import EXACT_ALGORITHMS, approx_dbscan, dbscan
+from repro.api import (
+    EXACT_ALGORITHMS,
+    ResiliencePolicy,
+    approx_dbscan,
+    dbscan,
+    run_resilient,
+    sampled_dbscan,
+)
 from repro.core.params import ApproxParams, DBSCANParams
 from repro.core.result import NOISE, Clustering
 from repro.errors import (
     AlgorithmError,
+    CheckpointError,
     DataError,
+    MemoryBudgetExceeded,
     ParameterError,
     ReproError,
     TimeoutExceeded,
 )
+from repro.runtime import Deadline, MemoryBudget
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "dbscan",
     "approx_dbscan",
+    "run_resilient",
+    "sampled_dbscan",
+    "ResiliencePolicy",
+    "Deadline",
+    "MemoryBudget",
     "Clustering",
     "DBSCANParams",
     "ApproxParams",
@@ -42,5 +60,7 @@ __all__ = [
     "DataError",
     "AlgorithmError",
     "TimeoutExceeded",
+    "MemoryBudgetExceeded",
+    "CheckpointError",
     "__version__",
 ]

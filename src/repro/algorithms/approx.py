@@ -8,17 +8,22 @@ under the paper's yes / no / don't-care contract.
 The output is a legal solution to Problem 2 and therefore enjoys the
 sandwich guarantee of Theorem 3: every exact-DBSCAN(eps) cluster is
 contained in one of these clusters, and each of these clusters is contained
-in an exact-DBSCAN(eps(1+rho)) cluster.
+in an exact-DBSCAN(eps(1+rho)) cluster.  This guarantee is what makes the
+degradation cascade of :func:`repro.runtime.run_resilient` principled:
+falling back from the exact algorithm to this one bounds the damage.
 """
 
 from __future__ import annotations
 
-from repro.core.border import assign_borders
+from typing import Optional
+
 from repro.core.cellgraph import approx_components
-from repro.core.labeling import label_cores
 from repro.core.params import ApproxParams
-from repro.core.result import Clustering, build_clustering
-from repro.grid.cells import Grid
+from repro.core.result import Clustering, empty_clustering
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.deadline import Deadline, as_deadline
+from repro.runtime.memory import MemoryBudget, as_memory_budget
+from repro.runtime.pipeline import run_grid_pipeline
 from repro.utils.log import get_logger
 from repro.utils.validation import as_points
 
@@ -31,13 +36,20 @@ def approx_dbscan(
     min_pts: int,
     rho: float = 0.001,
     exact_leaf_size: int | None = None,
+    *,
+    time_budget: Optional[float] = None,
+    deadline: Optional[Deadline] = None,
+    memory_budget_mb: Optional[float] = None,
+    memory: Optional[MemoryBudget] = None,
+    checkpoint: Optional[str] = None,
 ) -> Clustering:
     """rho-approximate DBSCAN (Theorem 4).
 
     Parameters
     ----------
     points:
-        Array-like of shape ``(n, d)``.
+        Array-like of shape ``(n, d)``.  An empty input is a legal
+        degenerate workload and yields an empty clustering.
     eps, min_pts:
         The usual DBSCAN parameters.
     rho:
@@ -45,29 +57,45 @@ def approx_dbscan(
     exact_leaf_size:
         Tuning knob of the Lemma 5 structures (None = library default;
         0 = the paper's verbatim structure).
+    time_budget:
+        Optional wall-clock cut-off in seconds (raises
+        :class:`~repro.errors.TimeoutExceeded`); ``deadline`` passes a
+        ready-made token instead.
+    memory_budget_mb:
+        Optional RSS budget (raises
+        :class:`~repro.errors.MemoryBudgetExceeded`).
+    checkpoint:
+        Optional ``.npz`` path for phase-level checkpoint/resume.
     """
     params = ApproxParams(eps, min_pts, rho)
-    pts = as_points(points)
-    grid = Grid(pts, params.eps)
-    _log.debug("grid built: %d non-empty cells for %d points", len(grid), len(pts))
-    core_mask = label_cores(grid, params.min_pts)
-    _log.debug("labeling done: %d core points", int(core_mask.sum()))
-    core_labels, k = approx_components(
-        grid, core_mask, params.rho, exact_leaf_size=exact_leaf_size
-    )
-    _log.debug("approximate graph connectivity done: %d components", k)
-    borders = assign_borders(grid, core_mask, core_labels)
-    _log.debug("border assignment done: %d border points", len(borders))
-    return build_clustering(
-        len(pts),
-        core_mask,
-        core_labels,
-        borders,
+    pts = as_points(points, allow_empty=True)
+    if len(pts) == 0:
+        return empty_clustering(
+            meta={
+                "algorithm": "approx",
+                "eps": params.eps,
+                "min_pts": params.min_pts,
+                "rho": params.rho,
+            }
+        )
+
+    def connect(grid, core_mask, dl):
+        return approx_components(
+            grid, core_mask, params.rho, exact_leaf_size=exact_leaf_size, deadline=dl
+        )
+
+    return run_grid_pipeline(
+        pts,
+        params.eps,
+        params.min_pts,
+        connect,
         meta={
             "algorithm": "approx",
             "eps": params.eps,
             "min_pts": params.min_pts,
             "rho": params.rho,
-            "grid_cells": len(grid),
         },
+        deadline=as_deadline(time_budget, deadline),
+        memory=as_memory_budget(memory_budget_mb, memory),
+        checkpoint=CheckpointStore(checkpoint) if checkpoint else None,
     )

@@ -9,27 +9,50 @@ dimensionality — the ground-truth oracle for the test suite.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.params import DBSCANParams
 from repro.core.result import Clustering, build_clustering
 from repro.geometry import distance as dm
+from repro.runtime.deadline import Deadline, as_deadline
+from repro.runtime.memory import MemoryBudget
 from repro.utils.unionfind import UnionFind
 from repro.utils.validation import as_points
 
 
-def brute_dbscan(points, eps: float, min_pts: int) -> Clustering:
-    """Exact DBSCAN by exhaustive pairwise distances."""
+def brute_dbscan(
+    points,
+    eps: float,
+    min_pts: int,
+    *,
+    time_budget: Optional[float] = None,
+    deadline: Optional[Deadline] = None,
+    memory: Optional[MemoryBudget] = None,
+) -> Clustering:
+    """Exact DBSCAN by exhaustive pairwise distances.
+
+    The deadline (from ``time_budget`` seconds or a ready-made token) is
+    polled once per distance-matrix chunk in each of the three quadratic
+    passes; ``memory`` is polled at the same cadence.
+    """
     params = DBSCANParams(eps, min_pts)
     pts = as_points(points)
     n = len(pts)
     sq_eps = params.eps * params.eps
+    deadline = as_deadline(time_budget, deadline)
+
+    def checkpoint(phase: str) -> None:
+        if deadline is not None:
+            deadline.check()
+        if memory is not None:
+            memory.check(phase)
 
     # Pass 1: neighbour counts -> core mask.
     counts = np.zeros(n, dtype=np.int64)
     for rows, block in dm.iter_chunked_sq_dists(pts, pts):
+        checkpoint("brute counts")
         counts[rows] = (block <= sq_eps).sum(axis=1)
     core_mask = counts >= params.min_pts
 
@@ -38,6 +61,7 @@ def brute_dbscan(points, eps: float, min_pts: int) -> Clustering:
     uf = UnionFind(len(core_idx))
     core_pts = pts[core_idx]
     for rows, block in dm.iter_chunked_sq_dists(core_pts, core_pts):
+        checkpoint("brute core graph")
         within = block <= sq_eps
         for local_i in range(rows.stop - rows.start):
             for local_j in np.nonzero(within[local_i])[0]:
@@ -57,6 +81,7 @@ def brute_dbscan(points, eps: float, min_pts: int) -> Clustering:
     non_core = np.nonzero(~core_mask)[0]
     if len(non_core) and len(core_idx):
         for rows, block in dm.iter_chunked_sq_dists(pts[non_core], core_pts):
+            checkpoint("brute borders")
             within = block <= sq_eps
             for local in range(rows.stop - rows.start):
                 hits = np.nonzero(within[local])[0]

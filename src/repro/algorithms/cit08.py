@@ -18,6 +18,8 @@ from repro.core.params import DBSCANParams
 from repro.core.result import Clustering
 from repro.algorithms.expansion import expand_dbscan
 from repro.geometry import distance as dm
+from repro.runtime.deadline import Deadline, as_deadline
+from repro.runtime.memory import MemoryBudget
 from repro.utils.validation import as_points
 
 
@@ -64,16 +66,27 @@ def cit08_dbscan(
     eps: float,
     min_pts: int,
     time_budget: Optional[float] = None,
+    *,
+    deadline: Optional[Deadline] = None,
+    memory: Optional[MemoryBudget] = None,
 ) -> Clustering:
-    """Grid-accelerated exact DBSCAN (identical output to KDD96)."""
+    """Grid-accelerated exact DBSCAN (identical output to KDD96).
+
+    ``time_budget`` / ``deadline`` / ``memory`` behave as in
+    :func:`repro.algorithms.kdd96.kdd96_dbscan`.
+    """
     params = DBSCANParams(eps, min_pts)
     pts = as_points(points)
+    deadline = as_deadline(time_budget, deadline)
+    if deadline is not None:
+        deadline.check()
     grid = _EpsGrid(pts, params.eps)
     return expand_dbscan(
         pts,
         params,
         grid.region_query,
         algorithm_name="cit08",
-        time_budget=time_budget,
+        deadline=deadline,
+        memory=memory,
         extra_meta={"grid_cells": len(grid.cells)},
     )

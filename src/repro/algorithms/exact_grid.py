@@ -1,6 +1,6 @@
 """OurExact: the paper's new exact DBSCAN algorithm (Section 3.2, Theorem 2).
 
-Pipeline:
+Pipeline (shared with OurApprox through :mod:`repro.runtime.pipeline`):
 
 1. impose the grid ``T`` with cell side ``eps / sqrt(d)``;
 2. run the labeling process to find core points;
@@ -13,18 +13,24 @@ Pipeline:
 For ``d = 2`` this *is* Gunawan's ``O(n log n)`` algorithm — pass
 ``bcp_strategy="kdtree"`` to use nearest-neighbour queries for the edge
 computation as his thesis does (the default picks automatically).
+
+All entry points accept a ``time_budget`` (or a ready-made
+:class:`~repro.runtime.Deadline`), an optional memory budget, and an
+optional checkpoint path for phase-level resume — see
+``docs/ROBUSTNESS.md``.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from typing import Optional
 
-from repro.core.border import assign_borders
 from repro.core.cellgraph import exact_components
-from repro.core.labeling import label_cores
 from repro.core.params import DBSCANParams
-from repro.core.result import Clustering, build_clustering
-from repro.grid.cells import Grid
+from repro.core.result import Clustering
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.deadline import Deadline, as_deadline
+from repro.runtime.memory import MemoryBudget, as_memory_budget
+from repro.runtime.pipeline import run_grid_pipeline
 from repro.utils.log import get_logger
 from repro.utils.validation import as_points
 
@@ -36,34 +42,55 @@ def exact_grid_dbscan(
     eps: float,
     min_pts: int,
     bcp_strategy: str = "auto",
+    *,
+    time_budget: Optional[float] = None,
+    deadline: Optional[Deadline] = None,
+    memory_budget_mb: Optional[float] = None,
+    memory: Optional[MemoryBudget] = None,
+    checkpoint: Optional[str] = None,
 ) -> Clustering:
-    """Exact DBSCAN via the grid + BCP algorithm of Theorem 2."""
+    """Exact DBSCAN via the grid + BCP algorithm of Theorem 2.
+
+    ``time_budget`` (seconds) aborts the run with
+    :class:`~repro.errors.TimeoutExceeded`; ``memory_budget_mb`` guards the
+    process RSS with :class:`~repro.errors.MemoryBudgetExceeded`;
+    ``checkpoint`` names a ``.npz`` file that each completed phase is saved
+    to, from which an identical invocation resumes.
+    """
     params = DBSCANParams(eps, min_pts)
     pts = as_points(points)
-    grid = Grid(pts, params.eps)
-    _log.debug("grid built: %d non-empty cells for %d points", len(grid), len(pts))
-    core_mask = label_cores(grid, params.min_pts)
-    _log.debug("labeling done: %d core points", int(core_mask.sum()))
-    core_labels, k = exact_components(grid, core_mask, bcp_strategy=bcp_strategy)
-    _log.debug("graph connectivity done: %d components", k)
-    borders = assign_borders(grid, core_mask, core_labels)
-    _log.debug("border assignment done: %d border points", len(borders))
-    return build_clustering(
-        len(pts),
-        core_mask,
-        core_labels,
-        borders,
+
+    def connect(grid, core_mask, dl):
+        return exact_components(grid, core_mask, bcp_strategy=bcp_strategy, deadline=dl)
+
+    return run_grid_pipeline(
+        pts,
+        params.eps,
+        params.min_pts,
+        connect,
         meta={
             "algorithm": "exact_grid",
             "eps": params.eps,
             "min_pts": params.min_pts,
             "bcp_strategy": bcp_strategy,
-            "grid_cells": len(grid),
         },
+        deadline=as_deadline(time_budget, deadline),
+        memory=as_memory_budget(memory_budget_mb, memory),
+        checkpoint=CheckpointStore(checkpoint) if checkpoint else None,
     )
 
 
-def gunawan_2d_dbscan(points, eps: float, min_pts: int, edges: str = "kdtree") -> Clustering:
+def gunawan_2d_dbscan(
+    points,
+    eps: float,
+    min_pts: int,
+    edges: str = "kdtree",
+    *,
+    time_budget: Optional[float] = None,
+    deadline: Optional[Deadline] = None,
+    memory_budget_mb: Optional[float] = None,
+    checkpoint: Optional[str] = None,
+) -> Clustering:
     """Gunawan's 2D O(n log n) algorithm (d = 2 only).
 
     ``edges`` selects the per-cell nearest-neighbour machinery for the
@@ -71,13 +98,23 @@ def gunawan_2d_dbscan(points, eps: float, min_pts: int, edges: str = "kdtree") -
     dual) per core cell exactly as the thesis describes; ``"kdtree"``
     (default) answers the same queries from a kd-tree per cell, which is
     asymptotically equivalent and faster in this pure-Python setting.
+    Budget and checkpoint arguments behave as in :func:`exact_grid_dbscan`.
     """
     pts = as_points(points)
     if pts.shape[1] != 2:
         raise ValueError("gunawan_2d_dbscan requires 2-D points")
     if edges not in ("kdtree", "voronoi"):
         raise ValueError(f"edges must be 'kdtree' or 'voronoi'; got {edges!r}")
-    result = exact_grid_dbscan(pts, eps, min_pts, bcp_strategy=edges)
+    result = exact_grid_dbscan(
+        pts,
+        eps,
+        min_pts,
+        bcp_strategy=edges,
+        time_budget=time_budget,
+        deadline=deadline,
+        memory_budget_mb=memory_budget_mb,
+        checkpoint=checkpoint,
+    )
     result.meta["algorithm"] = "gunawan2d"
     result.meta["edges"] = edges
     return result

@@ -17,16 +17,19 @@ first-come label assignment is also preserved in ``meta['first_labels']``.
 from __future__ import annotations
 
 from collections import deque
-from time import perf_counter
 from typing import Callable, Dict, Optional, Set
 
 import numpy as np
 
 from repro.core.params import DBSCANParams
 from repro.core.result import Clustering, build_clustering
-from repro.errors import TimeoutExceeded
+from repro.runtime.deadline import Deadline, as_deadline
+from repro.runtime.memory import MemoryBudget
 
 RegionQuery = Callable[[int], np.ndarray]
+
+#: Range queries between two RSS polls when a memory budget is active.
+_MEMORY_POLL_STRIDE = 1024
 
 
 def expand_dbscan(
@@ -36,6 +39,9 @@ def expand_dbscan(
     algorithm_name: str,
     time_budget: Optional[float] = None,
     extra_meta: Optional[Dict[str, object]] = None,
+    *,
+    deadline: Optional[Deadline] = None,
+    memory: Optional[MemoryBudget] = None,
 ) -> Clustering:
     """Run seed-expansion DBSCAN with the given range-query backend.
 
@@ -43,11 +49,14 @@ def expand_dbscan(
     ``params.eps`` of point ``i`` (including ``i`` itself).
     ``time_budget`` (seconds) aborts long runs with
     :class:`~repro.errors.TimeoutExceeded` — the reproduction's analogue of
-    the paper's 12-hour cut-off for the slow baselines.
+    the paper's 12-hour cut-off for the slow baselines.  The deadline is
+    polled before every range query (the unit of work that dominates the
+    Theta(n^2) worst case); ``memory`` is polled every
+    ``_MEMORY_POLL_STRIDE`` queries.
     """
     n = len(points)
     min_pts = params.min_pts
-    start_time = perf_counter()
+    deadline = as_deadline(time_budget, deadline)
 
     UNCLASSIFIED, NOISE = -2, -1
     first_labels = np.full(n, UNCLASSIFIED, dtype=np.int64)
@@ -61,10 +70,8 @@ def expand_dbscan(
     for p in range(n):
         if first_labels[p] != UNCLASSIFIED:
             continue
-        if time_budget is not None:
-            elapsed = perf_counter() - start_time
-            if elapsed > time_budget:
-                raise TimeoutExceeded(elapsed, time_budget)
+        if deadline is not None:
+            deadline.check()
         neighbors = region_query(p)
         queried[p] = True
         n_queries += 1
@@ -85,10 +92,10 @@ def expand_dbscan(
                 continue
             queried[q] = True
             n_queries += 1
-            if time_budget is not None and n_queries % 256 == 0:
-                elapsed = perf_counter() - start_time
-                if elapsed > time_budget:
-                    raise TimeoutExceeded(elapsed, time_budget)
+            if deadline is not None:
+                deadline.check()
+            if memory is not None and n_queries % _MEMORY_POLL_STRIDE == 0:
+                memory.check(f"{algorithm_name} expansion")
             q_neighbors = region_query(q)
             n_retrieved += len(q_neighbors)
             if len(q_neighbors) < min_pts:

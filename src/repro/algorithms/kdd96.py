@@ -18,6 +18,8 @@ from repro.errors import ParameterError
 from repro.index.kdtree import KDTree
 from repro.index.rstar import RStarTree
 from repro.index.rtree import RTree
+from repro.runtime.deadline import Deadline, as_deadline
+from repro.runtime.memory import MemoryBudget
 from repro.utils.validation import as_points
 
 _INDEXES = ("rtree", "kdtree", "rstar")
@@ -29,6 +31,9 @@ def kdd96_dbscan(
     min_pts: int,
     index: str = "rtree",
     time_budget: Optional[float] = None,
+    *,
+    deadline: Optional[Deadline] = None,
+    memory: Optional[MemoryBudget] = None,
 ) -> Clustering:
     """The original KDD'96 DBSCAN.
 
@@ -40,10 +45,15 @@ def kdd96_dbscan(
     time_budget:
         Optional wall-clock cut-off in seconds (raises
         :class:`~repro.errors.TimeoutExceeded`), mirroring the paper's
-        12-hour limit on the slow baselines.
+        12-hour limit on the slow baselines.  ``deadline`` passes a
+        ready-made :class:`~repro.runtime.Deadline` instead; the token also
+        covers index construction.
     """
     params = DBSCANParams(eps, min_pts)
     pts = as_points(points)
+    deadline = as_deadline(time_budget, deadline)
+    if deadline is not None:
+        deadline.check()
     if index not in _INDEXES:
         raise ParameterError(f"unknown index {index!r}; choose from {_INDEXES}")
     if index == "rtree":
@@ -62,6 +72,7 @@ def kdd96_dbscan(
         params,
         region_query,
         algorithm_name="kdd96",
-        time_budget=time_budget,
+        deadline=deadline,
+        memory=memory,
         extra_meta={"index": index},
     )

@@ -1,14 +1,19 @@
 """Public entry points of the library.
 
-Two calls cover the paper's headline functionality:
+Three calls cover the paper's headline functionality plus the resilient
+runtime:
 
->>> from repro import dbscan, approx_dbscan
+>>> from repro import dbscan, approx_dbscan, run_resilient
 >>> result = dbscan(points, eps=0.3, min_pts=10)          # exact (Theorem 2)
 >>> result = approx_dbscan(points, eps=0.3, min_pts=10, rho=0.001)  # Theorem 4
+>>> result = run_resilient(points, eps=0.3, min_pts=10)   # degrade, don't die
 
 ``dbscan`` also exposes every exact algorithm the paper evaluates through
 its ``algorithm`` argument, so benchmark code and curious users can compare
-them directly.
+them directly.  ``time_budget`` is honoured *uniformly*: every algorithm
+polls a cooperative :class:`~repro.runtime.Deadline` in its hot loops and
+raises :class:`~repro.errors.TimeoutExceeded` promptly (historically only
+the expansion baselines did).
 """
 
 from __future__ import annotations
@@ -20,8 +25,12 @@ from repro.algorithms.brute import brute_dbscan
 from repro.algorithms.cit08 import cit08_dbscan
 from repro.algorithms.exact_grid import exact_grid_dbscan, gunawan_2d_dbscan
 from repro.algorithms.kdd96 import kdd96_dbscan
-from repro.core.result import Clustering
+from repro.core.result import Clustering, empty_clustering
 from repro.errors import ParameterError
+from repro.runtime.deadline import as_deadline
+from repro.runtime.memory import as_memory_budget
+from repro.runtime.resilient import ResiliencePolicy, run_resilient, sampled_dbscan
+from repro.utils.validation import as_points
 
 #: Names accepted by :func:`dbscan`'s ``algorithm`` argument.
 EXACT_ALGORITHMS = ("grid", "kdd96", "cit08", "brute", "gunawan2d")
@@ -33,13 +42,18 @@ def dbscan(
     min_pts: int,
     algorithm: str = "grid",
     time_budget: Optional[float] = None,
+    *,
+    memory_budget_mb: Optional[float] = None,
+    checkpoint: Optional[str] = None,
 ) -> Clustering:
     """Exact DBSCAN (Problem 1) with a selectable algorithm.
 
     Parameters
     ----------
     points:
-        Array-like of shape ``(n, d)``.
+        Array-like of shape ``(n, d)``.  An empty input is a legal
+        degenerate workload: the result is the empty clustering (no
+        clusters, no points) rather than an error.
     eps, min_pts:
         The DBSCAN parameters of Definition 1.
     algorithm:
@@ -55,9 +69,16 @@ def dbscan(
         ``"brute"``
             the O(n^2) reference implementation.
     time_budget:
-        Optional per-run cut-off in seconds (honoured by the
-        expansion-based baselines, which can be extremely slow — this is
-        the point of the paper).
+        Optional per-run cut-off in seconds, honoured by **every**
+        algorithm (raises :class:`~repro.errors.TimeoutExceeded`).
+    memory_budget_mb:
+        Optional RSS budget in megabytes, polled at phase boundaries
+        (raises :class:`~repro.errors.MemoryBudgetExceeded`).
+    checkpoint:
+        Optional path to a ``.npz`` checkpoint file.  Supported by the
+        grid-pipeline algorithms (``"grid"`` and ``"gunawan2d"``): each
+        completed phase is persisted, and an identical invocation resumes
+        from the last completed phase.
 
     Returns
     -------
@@ -65,19 +86,42 @@ def dbscan(
         The unique DBSCAN result: clusters (with multi-membership border
         points), a primary label array, and the core mask.
     """
+    pts = as_points(points, allow_empty=True)
+    if len(pts) == 0:
+        if algorithm not in EXACT_ALGORITHMS:
+            raise ParameterError(
+                f"unknown algorithm {algorithm!r}; choose from {EXACT_ALGORITHMS}"
+            )
+        return empty_clustering(
+            meta={"algorithm": algorithm, "eps": float(eps), "min_pts": int(min_pts)}
+        )
+    deadline = as_deadline(time_budget)
+    memory = as_memory_budget(memory_budget_mb)
     if algorithm == "grid":
-        return exact_grid_dbscan(points, eps, min_pts)
+        return exact_grid_dbscan(
+            pts, eps, min_pts, deadline=deadline, memory=memory, checkpoint=checkpoint
+        )
     if algorithm == "kdd96":
-        return kdd96_dbscan(points, eps, min_pts, time_budget=time_budget)
+        return kdd96_dbscan(pts, eps, min_pts, deadline=deadline, memory=memory)
     if algorithm == "cit08":
-        return cit08_dbscan(points, eps, min_pts, time_budget=time_budget)
+        return cit08_dbscan(pts, eps, min_pts, deadline=deadline, memory=memory)
     if algorithm == "gunawan2d":
-        return gunawan_2d_dbscan(points, eps, min_pts)
+        return gunawan_2d_dbscan(
+            pts, eps, min_pts, deadline=deadline,
+            memory_budget_mb=memory_budget_mb, checkpoint=checkpoint,
+        )
     if algorithm == "brute":
-        return brute_dbscan(points, eps, min_pts)
+        return brute_dbscan(pts, eps, min_pts, deadline=deadline, memory=memory)
     raise ParameterError(
-        f"unknown algorithm {algorithm!r}; choose from {('grid',) + EXACT_ALGORITHMS[1:]}"
+        f"unknown algorithm {algorithm!r}; choose from {EXACT_ALGORITHMS}"
     )
 
 
-__all__ = ["dbscan", "approx_dbscan", "EXACT_ALGORITHMS"]
+__all__ = [
+    "dbscan",
+    "approx_dbscan",
+    "run_resilient",
+    "sampled_dbscan",
+    "ResiliencePolicy",
+    "EXACT_ALGORITHMS",
+]

@@ -36,9 +36,35 @@ _ALL_ALGORITHMS = EXACT_ALGORITHMS + ("approx",)
 
 
 def _run_algorithm(args, points):
+    if getattr(args, "resilience", False):
+        from repro.runtime.resilient import ResiliencePolicy, run_resilient
+
+        policy = ResiliencePolicy(
+            time_budget=args.time_budget,
+            memory_budget_mb=args.memory_budget_mb,
+            rho=args.rho,
+            checkpoint=args.checkpoint,
+        )
+        return run_resilient(points, args.eps, args.min_pts, policy)
     if args.algorithm == "approx":
-        return approx_dbscan(points, args.eps, args.min_pts, rho=args.rho)
-    return dbscan(points, args.eps, args.min_pts, algorithm=args.algorithm)
+        return approx_dbscan(
+            points,
+            args.eps,
+            args.min_pts,
+            rho=args.rho,
+            time_budget=args.time_budget,
+            memory_budget_mb=args.memory_budget_mb,
+            checkpoint=args.checkpoint,
+        )
+    return dbscan(
+        points,
+        args.eps,
+        args.min_pts,
+        algorithm=args.algorithm,
+        time_budget=args.time_budget,
+        memory_budget_mb=args.memory_budget_mb,
+        checkpoint=args.checkpoint,
+    )
 
 
 def _cmd_generate(args) -> int:
@@ -64,6 +90,12 @@ def _cmd_cluster(args) -> int:
     points = data_io.load_points(args.input)
     result = _run_algorithm(args, points)
     print(result.summary())
+    resilience = result.meta.get("resilience")
+    if resilience:
+        print(f"resilience: served by tier {resilience['tier']!r} "
+              f"after {len(resilience['attempts'])} degradation(s)")
+        for attempt in resilience["attempts"]:
+            print(f"  - tier {attempt['tier']!r} failed: {attempt['error']}")
     if args.labels_out:
         np.savetxt(args.labels_out, result.labels, fmt="%d")
         print(f"labels written to {args.labels_out}")
@@ -106,11 +138,15 @@ def _cmd_optics(args) -> int:
 
 def _cmd_compare(args) -> int:
     points = data_io.load_points(args.input)
-    first = dbscan(points, args.eps, args.min_pts, algorithm=args.first)
+    budget = args.time_budget
+    first = dbscan(points, args.eps, args.min_pts, algorithm=args.first,
+                   time_budget=budget)
     if args.second == "approx":
-        second = approx_dbscan(points, args.eps, args.min_pts, rho=args.rho)
+        second = approx_dbscan(points, args.eps, args.min_pts, rho=args.rho,
+                               time_budget=budget)
     else:
-        second = dbscan(points, args.eps, args.min_pts, algorithm=args.second)
+        second = dbscan(points, args.eps, args.min_pts, algorithm=args.second,
+                        time_budget=budget)
     print(f"{args.first}: {first.summary()}")
     print(f"{args.second}: {second.summary()}")
     print(confusion_summary(first, second))
@@ -165,6 +201,17 @@ def build_parser() -> argparse.ArgumentParser:
     clu.add_argument("--labels-out", dest="labels_out", default=None)
     clu.add_argument("--result-out", dest="result_out", default=None,
                      help="save the full result (.json or .npz)")
+    clu.add_argument("--time-budget", dest="time_budget", type=float, default=None,
+                     help="per-run cut-off in seconds (TimeoutExceeded past it)")
+    clu.add_argument("--memory-budget-mb", dest="memory_budget_mb", type=float,
+                     default=None, help="RSS budget in megabytes")
+    clu.add_argument("--checkpoint", default=None,
+                     help=".npz checkpoint path for phase-level resume "
+                          "(grid/gunawan2d/approx)")
+    clu.add_argument("--resilience", action="store_true",
+                     help="run the degradation cascade instead of one "
+                          "algorithm: exact under budget, else "
+                          "rho-approximate, else subsampled")
     clu.set_defaults(func=_cmd_cluster)
 
     sug = sub.add_parser("suggest-eps", help="find a stable eps plateau")
@@ -188,6 +235,8 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(cmp_)
     cmp_.add_argument("--first", choices=EXACT_ALGORITHMS, default="grid")
     cmp_.add_argument("--second", choices=_ALL_ALGORITHMS, default="approx")
+    cmp_.add_argument("--time-budget", dest="time_budget", type=float, default=None,
+                     help="per-algorithm cut-off in seconds")
     cmp_.set_defaults(func=_cmd_compare)
 
     lr = sub.add_parser("legal-rho", help="maximum legal rho at one eps")

@@ -13,30 +13,37 @@ so assigning with the true ``eps`` yields a legal result.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.geometry import distance as dm
 from repro.grid.cells import Grid
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.runtime.deadline import Deadline
+
 
 def assign_borders(
     grid: Grid,
     core_mask: np.ndarray,
     core_labels: np.ndarray,
+    *,
+    deadline: Optional["Deadline"] = None,
 ) -> Dict[int, Tuple[int, ...]]:
     """Map each border point to the sorted tuple of cluster ids it joins.
 
     ``core_labels`` holds a dense component id for every core point.
     Points with no core point within ``eps`` are simply absent from the
-    returned mapping (they are noise).
+    returned mapping (they are noise).  ``deadline`` is polled per cell.
     """
     points = grid.points
     sq_eps = grid.eps * grid.eps
     out: Dict[int, Tuple[int, ...]] = {}
 
     for cell, idx in grid.cells.items():
+        if deadline is not None:
+            deadline.tick()
         non_core = idx[~core_mask[idx]]
         if len(non_core) == 0:
             continue

@@ -20,9 +20,12 @@ labels directly.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.runtime.deadline import Deadline
 
 from repro.errors import ParameterError
 from repro.geometry.bcp import bcp_within
@@ -46,11 +49,15 @@ def exact_components(
     grid: Grid,
     core_mask: np.ndarray,
     bcp_strategy: str = "auto",
+    *,
+    deadline: Optional["Deadline"] = None,
 ) -> Tuple[np.ndarray, int]:
     """Connected components of the exact graph ``G``.
 
     Returns ``(labels, k)``: a dense component id per point (valid only at
     core positions; ``-1`` elsewhere) and the number of components ``k``.
+    ``deadline`` is polled once per candidate cell pair — i.e. before each
+    BCP computation, the dominant cost of the phase.
     """
     cells = core_cells(grid, core_mask)
     uf = KeyedUnionFind(cells.keys())
@@ -98,6 +105,8 @@ def exact_components(
             )
 
     for c1, c2 in grid.neighbor_cell_pairs(subset=cells.keys()):
+        if deadline is not None:
+            deadline.tick()
         if uf.connected(c1, c2):
             continue
         if edge(c1, c2):
@@ -110,6 +119,8 @@ def approx_components(
     core_mask: np.ndarray,
     rho: float,
     exact_leaf_size: int | None = None,
+    *,
+    deadline: Optional["Deadline"] = None,
 ) -> Tuple[np.ndarray, int]:
     """Connected components of the rho-approximate graph ``G``.
 
@@ -122,11 +133,14 @@ def approx_components(
     uf = KeyedUnionFind(cells.keys())
     points = grid.points
     kwargs = {} if exact_leaf_size is None else {"exact_leaf_size": exact_leaf_size}
-    structures: Dict[CellCoord, CountingHierarchy] = {
-        cell: CountingHierarchy(points[idx], grid.eps, rho, **kwargs)
-        for cell, idx in cells.items()
-    }
+    structures: Dict[CellCoord, CountingHierarchy] = {}
+    for cell, idx in cells.items():
+        if deadline is not None:
+            deadline.tick()
+        structures[cell] = CountingHierarchy(points[idx], grid.eps, rho, **kwargs)
     for c1, c2 in grid.neighbor_cell_pairs(subset=cells.keys()):
+        if deadline is not None:
+            deadline.tick()
         if uf.connected(c1, c2):
             continue
         structure = structures[c2]

@@ -13,15 +13,27 @@ All distance work is vectorised per (cell, neighbour-cell) pair.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
 import numpy as np
 
 from repro.errors import AlgorithmError
 from repro.geometry import distance as dm
 from repro.grid.cells import Grid
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.runtime.deadline import Deadline
 
-def label_cores(grid: Grid, min_pts: int) -> np.ndarray:
-    """Boolean core mask for every point of ``grid.points``."""
+
+def label_cores(
+    grid: Grid, min_pts: int, *, deadline: Optional["Deadline"] = None
+) -> np.ndarray:
+    """Boolean core mask for every point of ``grid.points``.
+
+    ``deadline`` (if given) is polled once per cell, so a labeling pass
+    over a huge grid aborts promptly with
+    :class:`~repro.errors.TimeoutExceeded`.
+    """
     if grid.side > grid.eps / np.sqrt(grid.dim) * (1.0 + 1e-9):
         raise AlgorithmError(
             "core labeling requires cell side <= eps/sqrt(d) so that same-cell "
@@ -32,6 +44,8 @@ def label_cores(grid: Grid, min_pts: int) -> np.ndarray:
     core = np.zeros(len(points), dtype=bool)
 
     for cell, idx in grid.cells.items():
+        if deadline is not None:
+            deadline.tick()
         if len(idx) >= min_pts:
             core[idx] = True
             continue

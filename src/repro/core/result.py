@@ -192,3 +192,12 @@ def build_clustering(
         for cid in cids:
             clusters[int(cid)].add(int(idx))
     return Clustering(n, clusters, core_mask, meta=meta)
+
+
+def empty_clustering(meta: Mapping[str, object] | None = None) -> Clustering:
+    """The clustering of the empty point set: no clusters, no points.
+
+    The degenerate-but-legal result public entry points return for
+    ``n == 0`` inputs (a service must survive an empty batch).
+    """
+    return Clustering(0, [], np.zeros(0, dtype=bool), meta=meta)

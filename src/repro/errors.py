@@ -25,10 +25,11 @@ class AlgorithmError(ReproError, RuntimeError):
 
 
 class TimeoutExceeded(ReproError, RuntimeError):
-    """A benchmark run exceeded its configured wall-clock budget.
+    """A run exceeded its configured wall-clock budget.
 
     Mirrors the paper's "did not terminate within 12 hours" markers for the
-    KDD96 / CIT08 baselines (Section 5.3).
+    KDD96 / CIT08 baselines (Section 5.3).  Raised cooperatively by every
+    algorithm through :class:`repro.runtime.Deadline`.
     """
 
     def __init__(self, elapsed: float, budget: float) -> None:
@@ -37,3 +38,30 @@ class TimeoutExceeded(ReproError, RuntimeError):
         )
         self.elapsed = elapsed
         self.budget = budget
+
+
+class MemoryBudgetExceeded(ReproError, RuntimeError):
+    """A run exceeded (or would exceed) its configured memory budget.
+
+    Raised either up front, when a footprint estimate for a phase already
+    overshoots the budget, or at a phase boundary when the polled process
+    RSS crosses it.
+    """
+
+    def __init__(self, observed_bytes: float, budget_bytes: float, phase: str = "") -> None:
+        where = f" during {phase}" if phase else ""
+        super().__init__(
+            f"run exceeded its memory budget{where}: "
+            f"{observed_bytes / 1e6:.1f} MB observed > {budget_bytes / 1e6:.1f} MB allowed"
+        )
+        self.observed_bytes = float(observed_bytes)
+        self.budget_bytes = float(budget_bytes)
+        self.phase = phase
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint file is missing a field, corrupt, or unreadable.
+
+    The checkpointing pipeline treats this as recoverable: it logs a
+    WARNING and recomputes from scratch instead of failing the run.
+    """

@@ -1,0 +1,56 @@
+"""Resilient execution runtime: deadlines, memory guards, checkpoints.
+
+The paper's Section 5.3 message — exact baselines can blow past any time
+budget, while the approximation is provably bounded — turned into
+machinery every algorithm in the library runs through:
+
+* :class:`Deadline` — a cooperative cancellation token polled in every
+  algorithm's hot loops, making ``time_budget`` mean the same thing for
+  all of them;
+* :class:`MemoryBudget` — up-front footprint estimates plus RSS polling
+  at phase boundaries;
+* :class:`CheckpointStore` — phase-level checkpoint/resume for the grid
+  pipeline (grid -> cores -> components -> borders);
+* :func:`run_resilient` / :class:`ResiliencePolicy` — the degradation
+  cascade exact -> rho-approximate -> subsampled, justified by the
+  Sandwich Theorem (Theorem 3);
+* :func:`inject_faults` — deterministic clock skips, allocation failures
+  and checkpoint corruption, so all of the above is testable in CI.
+
+See ``docs/ROBUSTNESS.md`` for the full story.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.checkpoint import PHASES, CheckpointStore, fingerprint_points
+from repro.runtime.deadline import Deadline, as_deadline
+from repro.runtime.faultinject import FaultPlan, inject_faults
+from repro.runtime.memory import MemoryBudget, as_memory_budget, current_rss
+
+__all__ = [
+    "Deadline",
+    "as_deadline",
+    "MemoryBudget",
+    "as_memory_budget",
+    "current_rss",
+    "CheckpointStore",
+    "PHASES",
+    "fingerprint_points",
+    "FaultPlan",
+    "inject_faults",
+    "ResiliencePolicy",
+    "run_resilient",
+    "sampled_dbscan",
+    "TIERS",
+]
+
+
+def __getattr__(name: str):
+    # run_resilient depends on the algorithm modules, which themselves
+    # import the runtime submodules above; resolving it lazily keeps the
+    # package importable from either direction.
+    if name in ("ResiliencePolicy", "run_resilient", "sampled_dbscan", "TIERS"):
+        from repro.runtime import resilient
+
+        return getattr(resilient, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,33 @@
+"""The runtime's wall-clock source.
+
+Every deadline in the library reads time through :func:`now` instead of
+calling :func:`time.monotonic` directly.  The indirection exists for one
+reason: testability.  The fault-injection harness
+(:mod:`repro.runtime.faultinject`) installs a hook here to simulate clock
+skips deterministically, which is how CI proves that every algorithm
+honours its ``time_budget`` without actually burning wall-clock time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+#: Optional transformation applied to every clock reading.  ``None`` means
+#: the real monotonic clock is returned untouched.  Installed/removed by the
+#: fault-injection harness only.
+_hook: Optional[Callable[[float], float]] = None
+
+
+def now() -> float:
+    """Current monotonic time in seconds (possibly fault-adjusted)."""
+    t = time.monotonic()
+    if _hook is not None:
+        t = _hook(t)
+    return t
+
+
+def set_fault_hook(hook: Optional[Callable[[float], float]]) -> None:
+    """Install (or with ``None`` remove) the clock fault hook."""
+    global _hook
+    _hook = hook

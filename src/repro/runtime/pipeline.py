@@ -1,0 +1,135 @@
+"""The resilient grid pipeline shared by OurExact and OurApprox.
+
+Both of the paper's grid algorithms run the same four phases (grid ->
+cores -> components -> borders); only the component rule differs (BCP for
+Theorem 2, approximate range counts for Theorem 4).  This module owns that
+control flow once, and is where the robustness guarantees attach:
+
+* the :class:`~repro.runtime.Deadline` is polled inside every phase's hot
+  loop *and* at each phase boundary;
+* the :class:`~repro.runtime.MemoryBudget` charges an up-front grid
+  estimate and polls the RSS at every phase boundary;
+* when a :class:`~repro.runtime.CheckpointStore` is attached, each
+  completed phase is persisted before the next begins, and a rerun resumes
+  from the latest phase whose output is on disk (corrupt or mismatched
+  checkpoints degrade to a fresh start with a WARNING).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.border import assign_borders
+from repro.core.labeling import label_cores
+from repro.core.result import Clustering, build_clustering
+from repro.grid.cells import Grid
+from repro.runtime.checkpoint import CheckpointStore, fingerprint_points, phase_index
+from repro.runtime.deadline import Deadline
+from repro.runtime.memory import MemoryBudget, estimate_grid_bytes
+from repro.utils.log import get_logger
+
+_log = get_logger("runtime.pipeline")
+
+#: ``connect(grid, core_mask, deadline) -> (core_labels, n_components)``
+ConnectFn = Callable[[Grid, np.ndarray, Optional[Deadline]], Tuple[np.ndarray, int]]
+
+
+def run_grid_pipeline(
+    pts: np.ndarray,
+    eps: float,
+    min_pts: int,
+    connect: ConnectFn,
+    meta: Dict[str, object],
+    *,
+    deadline: Optional[Deadline] = None,
+    memory: Optional[MemoryBudget] = None,
+    checkpoint: Optional[CheckpointStore] = None,
+) -> Clustering:
+    """Run the four-phase grid pipeline and assemble the result.
+
+    ``meta`` must already contain the algorithm identity and parameters;
+    the pipeline adds ``grid_cells`` and (when a resume happened)
+    ``resumed_from_phase``.
+    """
+    state: Optional[Dict[str, object]] = None
+    fingerprint = ""
+    if checkpoint is not None:
+        fingerprint = fingerprint_points(pts)
+        ckpt_params = {
+            "algorithm": str(meta.get("algorithm", "")),
+            "eps": float(eps),
+            "min_pts": int(min_pts),
+            "rho": float(meta["rho"]) if "rho" in meta else None,
+        }
+        state = checkpoint.load_matching(fingerprint, ckpt_params)
+
+    def reached(phase: str) -> bool:
+        return state is not None and phase_index(str(state["phase"])) >= phase_index(phase)
+
+    def persist(phase: str, **kwargs) -> None:
+        if checkpoint is not None and not reached(phase):
+            checkpoint.save(phase, fingerprint, ckpt_params, **kwargs)
+
+    # Phase 1: impose the grid T (deterministic; always rebuilt — it is the
+    # one phase cheaper to recompute than to serialise).
+    if memory is not None:
+        memory.charge_estimate(estimate_grid_bytes(len(pts), pts.shape[1]), "grid")
+    grid = Grid(pts, eps)
+    _log.debug("grid built: %d non-empty cells for %d points", len(grid), len(pts))
+    if deadline is not None:
+        deadline.check()
+    if memory is not None:
+        memory.check("grid")
+    persist("grid")
+
+    # Phase 2: the labeling process -> core mask.
+    if reached("cores"):
+        core_mask = np.asarray(state["core_mask"], dtype=bool)
+        _log.debug("labeling restored from checkpoint: %d core points", int(core_mask.sum()))
+    else:
+        core_mask = label_cores(grid, min_pts, deadline=deadline)
+        _log.debug("labeling done: %d core points", int(core_mask.sum()))
+        persist("cores", core_mask=core_mask)
+    if deadline is not None:
+        deadline.check()
+    if memory is not None:
+        memory.check("cores")
+
+    # Phase 3: connect the core-cell graph (Lemma 1 components).
+    if reached("components"):
+        core_labels = np.asarray(state["core_labels"], dtype=np.int64)
+        k = int(state["n_components"])
+        _log.debug("graph connectivity restored from checkpoint: %d components", k)
+    else:
+        core_labels, k = connect(grid, core_mask, deadline)
+        _log.debug("graph connectivity done: %d components", k)
+        persist("components", core_mask=core_mask, core_labels=core_labels, n_components=k)
+    if deadline is not None:
+        deadline.check()
+    if memory is not None:
+        memory.check("components")
+
+    # Phase 4: assign border points.
+    if reached("borders"):
+        borders = dict(state["borders"])
+        _log.debug("border assignment restored from checkpoint: %d border points", len(borders))
+    else:
+        borders = assign_borders(grid, core_mask, core_labels, deadline=deadline)
+        _log.debug("border assignment done: %d border points", len(borders))
+        persist(
+            "borders",
+            core_mask=core_mask,
+            core_labels=core_labels,
+            n_components=k,
+            borders=borders,
+        )
+    if memory is not None:
+        memory.check("borders")
+
+    meta = dict(meta)
+    meta["grid_cells"] = len(grid)
+    if state is not None:
+        meta["resumed_from_phase"] = str(state["phase"])
+    return build_clustering(len(pts), core_mask, core_labels, borders, meta=meta)

@@ -7,13 +7,16 @@ import numpy as np
 from repro.errors import DataError, ParameterError
 
 
-def as_points(points, *, copy: bool = False) -> np.ndarray:
+def as_points(points, *, copy: bool = False, allow_empty: bool = False) -> np.ndarray:
     """Coerce ``points`` into a 2-D float64 array of shape ``(n, d)``.
 
     Accepts any array-like (lists of tuples, numpy arrays, ...).  A 1-D input
     of length ``n`` is interpreted as ``n`` one-dimensional points.  Raises
-    :class:`~repro.errors.DataError` on empty input, non-finite coordinates,
-    or arrays with more than two axes.
+    :class:`~repro.errors.DataError` on non-finite coordinates or arrays
+    with more than two axes.  An empty input (``n == 0``) is rejected by
+    default — internal machinery (grids, indexes, BCP) requires at least
+    one point — but public entry points that treat the empty point set as a
+    legal degenerate workload pass ``allow_empty=True``.
     """
     if copy:
         arr = np.array(points, dtype=np.float64)
@@ -23,9 +26,9 @@ def as_points(points, *, copy: bool = False) -> np.ndarray:
         arr = arr.reshape(-1, 1)
     if arr.ndim != 2:
         raise DataError(f"points must be a 2-D array of shape (n, d); got ndim={arr.ndim}")
-    if arr.shape[0] == 0:
+    if arr.shape[0] == 0 and not allow_empty:
         raise DataError("points must contain at least one point")
-    if arr.shape[1] == 0:
+    if arr.shape[1] == 0 and arr.shape[0] > 0:
         raise DataError("points must have at least one dimension")
     if not np.isfinite(arr).all():
         raise DataError("points contain NaN or infinite coordinates")

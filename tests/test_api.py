@@ -34,9 +34,19 @@ class TestDbscanDispatch:
         res = dbscan([[0.0, 0.0], [0.1, 0.0], [0.2, 0.0]], 1.0, 2)
         assert res.n_clusters == 1
 
-    def test_rejects_empty(self):
+    def test_empty_input_is_legal(self):
+        # An empty batch is a legal degenerate workload: the public entry
+        # points return the empty clustering instead of erroring.
+        res = dbscan([], 1.0, 2)
+        assert res.n == 0 and res.n_clusters == 0
+
+    def test_empty_input_still_strict_internally(self):
+        from repro.utils.validation import as_points
+
         with pytest.raises(DataError):
-            dbscan([], 1.0, 2)
+            as_points([], allow_empty=False)
+        with pytest.raises(DataError):
+            as_points([])  # strict by default
 
     def test_rejects_bad_eps(self):
         with pytest.raises(ParameterError):
@@ -45,7 +55,7 @@ class TestDbscanDispatch:
 
 class TestPackageSurface:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_exports(self):
         for name in repro.__all__:

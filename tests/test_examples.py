@@ -16,6 +16,7 @@ SCRIPTS = [
     "visualize_clusters.py",
     "arbitrary_shapes.py",
     "parameter_selection.py",
+    "resilient_clustering.py",
 ]
 
 

@@ -1,0 +1,332 @@
+"""Fault-injection tests for the resilient runtime.
+
+Every failure mode of ``repro.runtime`` is driven deterministically via
+:func:`repro.runtime.inject_faults` — no real long runs, no real OOM:
+
+* all six algorithms honour ``time_budget`` and raise
+  :class:`~repro.errors.TimeoutExceeded` within a real-time tolerance when
+  the injected clock jumps past the budget;
+* the degradation cascade always returns a labelled clustering, with
+  ``meta["resilience"]`` naming the tier taken;
+* a run interrupted mid-pipeline resumes from its checkpoint and produces
+  labels identical to an uninterrupted run;
+* corrupt checkpoints degrade to a fresh recompute, never a failure.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms.approx import approx_dbscan
+from repro.api import dbscan
+from repro.errors import (
+    CheckpointError,
+    MemoryBudgetExceeded,
+    ParameterError,
+    TimeoutExceeded,
+)
+from repro.runtime import (
+    CheckpointStore,
+    Deadline,
+    MemoryBudget,
+    ResiliencePolicy,
+    as_deadline,
+    as_memory_budget,
+    current_rss,
+    fingerprint_points,
+    inject_faults,
+    run_resilient,
+    sampled_dbscan,
+)
+from repro.runtime import clock
+from repro.runtime.memory import estimate_grid_bytes
+
+from .conftest import make_blobs
+
+#: Real-time tolerance for a cooperative timeout to surface (seconds).
+TIMEOUT_TOLERANCE = 0.5
+
+#: Injected forward clock jump, far past any budget used below.
+SKEW = 1000.0
+
+
+@pytest.fixture(scope="module")
+def pts_3d():
+    return make_blobs(240, 3, 3, spread=1.2, domain=60.0, seed=21)
+
+
+@pytest.fixture(scope="module")
+def pts_2d():
+    return make_blobs(240, 2, 3, spread=1.0, domain=60.0, seed=22)
+
+
+def _run(algorithm, pts, **kw):
+    if algorithm == "approx":
+        return approx_dbscan(pts, 3.0, 5, rho=0.01, **kw)
+    return dbscan(pts, 3.0, 5, algorithm=algorithm, **kw)
+
+
+class TestDeadlinesEverywhere:
+    """Every algorithm times out promptly under an injected clock skip."""
+
+    @pytest.mark.parametrize(
+        "algorithm", ["grid", "kdd96", "cit08", "brute", "gunawan2d", "approx"]
+    )
+    def test_timeout_within_tolerance(self, algorithm, pts_3d, pts_2d):
+        pts = pts_2d if algorithm == "gunawan2d" else pts_3d
+        # skew_after=1: the Deadline's own start read stays clean, every
+        # later read jumps by SKEW, so the first poll must raise.
+        start = time.perf_counter()
+        with inject_faults(clock_skew=SKEW, skew_after=1) as plan:
+            with pytest.raises(TimeoutExceeded) as excinfo:
+                _run(algorithm, pts, time_budget=5.0)
+        elapsed = time.perf_counter() - start
+        assert elapsed < TIMEOUT_TOLERANCE, (
+            f"{algorithm} took {elapsed:.3f}s of real time to honour the deadline"
+        )
+        assert excinfo.value.elapsed > excinfo.value.budget
+        assert plan.clock_reads >= 2
+
+    @pytest.mark.parametrize("algorithm", ["grid", "kdd96", "cit08", "brute", "approx"])
+    def test_no_budget_is_unaffected_by_skew(self, algorithm, pts_3d):
+        with inject_faults(clock_skew=SKEW, skew_after=1):
+            res = _run(algorithm, pts_3d)
+        assert res.n == len(pts_3d)
+
+    def test_memory_budget_trips(self, pts_3d):
+        with inject_faults(memory_fail_after=1):
+            with pytest.raises(MemoryBudgetExceeded) as excinfo:
+                dbscan(pts_3d, 3.0, 5, memory_budget_mb=256.0)
+        assert excinfo.value.budget_bytes < excinfo.value.observed_bytes
+
+
+class TestDegradationCascade:
+    def test_unstressed_run_serves_exact(self, pts_3d):
+        res = run_resilient(pts_3d, 3.0, 5)
+        info = res.meta["resilience"]
+        assert info["tier"] == "exact"
+        assert info["attempts"] == []
+        assert res.n == len(pts_3d)
+        assert len(res.labels) == len(pts_3d)
+
+    def test_clock_skew_degrades_to_approx(self, pts_3d, caplog):
+        # The skew fires between the exact tier's Deadline start and its
+        # first poll; the approx tier starts *after* the jump, so its
+        # elapsed time reads normally and it completes.
+        policy = ResiliencePolicy(time_budget=5.0, rho=0.01)
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            with inject_faults(clock_skew=SKEW, skew_after=1):
+                res = run_resilient(pts_3d, 3.0, 5, policy)
+        info = res.meta["resilience"]
+        assert info["tier"] == "approx"
+        assert [a["tier"] for a in info["attempts"]] == ["exact"]
+        assert info["attempts"][0]["error"] == "TimeoutExceeded"
+        assert "Sandwich" in info["guarantee"]
+        assert len(res.labels) == len(pts_3d)
+        assert any("degrad" in rec.message for rec in caplog.records)
+
+    def test_memory_pressure_degrades_to_sampled(self, pts_3d, caplog):
+        # The fake RSS trips every budgeted tier; the final tier runs
+        # unbudgeted and must return.
+        policy = ResiliencePolicy(memory_budget_mb=512.0, rho=0.01, sample_size=150)
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            with inject_faults(memory_fail_after=1):
+                res = run_resilient(pts_3d, 3.0, 5, policy)
+        info = res.meta["resilience"]
+        assert info["tier"] == "sampled"
+        assert [a["tier"] for a in info["attempts"]] == ["exact", "approx"]
+        assert all(a["error"] == "MemoryBudgetExceeded" for a in info["attempts"])
+        assert len(res.labels) == len(pts_3d)
+        assert res.meta["sample_size"] == 150
+        warnings = [rec for rec in caplog.records if rec.levelno >= logging.WARNING]
+        assert len(warnings) >= 2
+
+    def test_cascade_always_labels_clusterable_input(self, pts_3d):
+        # Even under combined clock and memory faults the cascade returns a
+        # clustering whose labels cover every point.
+        policy = ResiliencePolicy(time_budget=5.0, memory_budget_mb=512.0, rho=0.01)
+        with inject_faults(clock_skew=SKEW, skew_after=1, memory_fail_after=1):
+            res = run_resilient(pts_3d, 3.0, 5, policy)
+        assert res.meta["resilience"]["tier"] in ("approx", "sampled")
+        assert len(res.labels) == len(pts_3d)
+        assert res.n_clusters >= 1
+
+    def test_empty_input(self):
+        res = run_resilient([], 3.0, 5)
+        assert res.n == 0 and res.n_clusters == 0
+        assert "resilience" in res.meta
+
+    def test_policy_validation(self):
+        with pytest.raises(ParameterError):
+            ResiliencePolicy(tiers=())
+        with pytest.raises(ParameterError):
+            ResiliencePolicy(tiers=("exact", "quantum"))
+        with pytest.raises(ParameterError):
+            ResiliencePolicy(sample_size=0)
+
+    def test_sampled_dbscan_standalone(self, pts_3d):
+        res = sampled_dbscan(pts_3d, 3.0, 5, rho=0.01, sample_size=150, seed=0)
+        assert res.n == len(pts_3d)
+        assert res.meta["algorithm"] == "sampled"
+        assert res.meta["sampled_min_pts"] >= 1
+
+
+class TestCheckpointResume:
+    def _interrupt(self, pts, ckpt_path, skew_after):
+        """Run the grid algorithm until the injected skip kills it."""
+        try:
+            with inject_faults(clock_skew=SKEW, skew_after=skew_after):
+                dbscan(pts, 3.0, 5, time_budget=5.0, checkpoint=ckpt_path)
+        except TimeoutExceeded:
+            return True
+        return False
+
+    def test_resume_matches_uninterrupted_run(self, pts_3d, tmp_path):
+        clean = dbscan(pts_3d, 3.0, 5)
+        resumed_phases = []
+        for skew_after in (2, 10, 40, 160, 640):
+            ckpt = str(tmp_path / f"resume_{skew_after}.npz")
+            store = CheckpointStore(ckpt)
+            interrupted = self._interrupt(pts_3d, ckpt, skew_after)
+            if not (interrupted and store.exists()):
+                continue
+            saved_phase = store.load()["phase"]
+            res = dbscan(pts_3d, 3.0, 5, checkpoint=ckpt)
+            assert res.meta["resumed_from_phase"] == saved_phase
+            resumed_phases.append(saved_phase)
+            assert np.array_equal(res.labels, clean.labels)
+            assert np.array_equal(res.core_mask, clean.core_mask)
+        # At least one injection point must land after a persisted phase,
+        # or the resume path was never exercised.
+        assert resumed_phases, "no skew_after value produced a resumable interrupt"
+
+    def test_checkpoint_ignored_for_different_input(self, pts_3d, pts_2d, tmp_path):
+        ckpt = str(tmp_path / "other_input.npz")
+        dbscan(pts_3d, 3.0, 5, checkpoint=ckpt)
+        other = make_blobs(240, 3, 3, spread=1.2, domain=60.0, seed=99)
+        res = dbscan(other, 3.0, 5, checkpoint=ckpt)
+        assert "resumed_from_phase" not in res.meta
+
+    def test_checkpoint_ignored_for_different_params(self, pts_3d, tmp_path):
+        ckpt = str(tmp_path / "other_params.npz")
+        dbscan(pts_3d, 3.0, 5, checkpoint=ckpt)
+        res = dbscan(pts_3d, 3.5, 5, checkpoint=ckpt)
+        assert "resumed_from_phase" not in res.meta
+
+    @pytest.mark.parametrize("mode", ["truncate", "garbage"])
+    def test_corrupt_checkpoint_recovers(self, pts_3d, tmp_path, mode, caplog):
+        ckpt = str(tmp_path / f"corrupt_{mode}.npz")
+        clean = dbscan(pts_3d, 3.0, 5)
+        with inject_faults(corrupt_checkpoints=True, corruption_mode=mode) as plan:
+            first = dbscan(pts_3d, 3.0, 5, checkpoint=ckpt)
+        assert plan.checkpoints_corrupted >= 1
+        assert np.array_equal(first.labels, clean.labels)
+        # The rerun finds only damaged bytes: WARNING + fresh recompute.
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            res = dbscan(pts_3d, 3.0, 5, checkpoint=ckpt)
+        assert "resumed_from_phase" not in res.meta
+        assert np.array_equal(res.labels, clean.labels)
+        assert any("checkpoint" in rec.message for rec in caplog.records)
+
+
+class TestRuntimePrimitives:
+    def test_unbounded_deadline_is_noop(self):
+        d = Deadline(None)
+        d.check()
+        assert not d.expired()
+        assert d.remaining() is None
+
+    def test_expired_deadline_raises(self):
+        d = Deadline(0.5, start=clock.now() - 1.0)
+        assert d.expired()
+        assert d.remaining() < 0
+        with pytest.raises(TimeoutExceeded):
+            d.check()
+
+    def test_as_deadline_normalisation(self):
+        assert as_deadline() is None
+        d = Deadline(1.0)
+        assert as_deadline(5.0, d) is d
+        fresh = as_deadline(2.0)
+        assert fresh.budget == 2.0
+
+    def test_memory_budget_estimate_trips_before_allocating(self):
+        guard = MemoryBudget(1.0)  # 1 MB: any real estimate overshoots
+        with pytest.raises(MemoryBudgetExceeded) as excinfo:
+            guard.charge_estimate(estimate_grid_bytes(10_000, 3), "grid")
+        assert excinfo.value.phase == "grid"
+
+    def test_memory_budget_noop_when_unbounded(self):
+        guard = MemoryBudget(None)
+        guard.charge_estimate(1 << 40)
+        guard.check()
+
+    def test_as_memory_budget_normalisation(self):
+        assert as_memory_budget() is None
+        guard = MemoryBudget(10.0)
+        assert as_memory_budget(5.0, guard) is guard
+        assert as_memory_budget(5.0).limit_bytes == 5e6
+
+    def test_current_rss_positive(self):
+        assert current_rss() > 0
+
+    def test_checkpoint_roundtrip(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "roundtrip.npz"))
+        fp = fingerprint_points(np.arange(12, dtype=float).reshape(4, 3))
+        params = {"algorithm": "grid", "eps": 1.0, "min_pts": 3, "rho": None}
+        borders = {2: (0,), 5: (0, 1)}
+        store.save(
+            "borders",
+            fp,
+            params,
+            core_mask=np.array([True, False, True, True]),
+            core_labels=np.array([0, -1, 0, 1]),
+            n_components=2,
+            borders=borders,
+        )
+        state = store.load_matching(fp, params)
+        assert state["phase"] == "borders"
+        assert state["borders"] == borders
+        assert state["n_components"] == 2
+        assert store.load_matching("deadbeef", params) is None
+        assert store.load_matching(fp, {**params, "eps": 2.0}) is None
+        store.clear()
+        assert not store.exists()
+        store.clear()  # idempotent
+
+    def test_truncated_checkpoint_raises_on_load(self, tmp_path):
+        path = tmp_path / "trunc.npz"
+        store = CheckpointStore(str(path))
+        store.save("grid", "fp", {"eps": 1.0})
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(CheckpointError):
+            store.load()
+        assert store.load_matching("fp", {"eps": 1.0}) is None
+
+    def test_fingerprint_binds_to_content(self):
+        a = np.zeros((5, 2))
+        b = np.zeros((5, 2))
+        b[0, 0] = 1e-12
+        assert fingerprint_points(a) == fingerprint_points(np.zeros((5, 2)))
+        assert fingerprint_points(a) != fingerprint_points(b)
+
+    def test_inject_faults_rejects_nesting(self):
+        with inject_faults(clock_skew=1.0):
+            with pytest.raises(RuntimeError):
+                with inject_faults(clock_skew=1.0):
+                    pass
+
+    def test_inject_faults_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            with inject_faults(corruption_mode="shred"):
+                pass
+
+    def test_hooks_removed_after_block(self):
+        before = clock.now()
+        with inject_faults(clock_skew=SKEW, skew_after=0):
+            pass
+        assert clock.now() - before < 1.0
