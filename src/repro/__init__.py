@@ -11,6 +11,9 @@ Highlights
 * :func:`repro.run_resilient` — the degradation cascade of
   :mod:`repro.runtime`: exact under budget, else rho-approximate, else a
   subsampled run — degrade, don't die (see docs/ROBUSTNESS.md).
+* :mod:`repro.parallel` — the sharded multiprocessing pipeline behind the
+  ``workers=`` argument: identical output, near-linear speedups on the
+  grid algorithms (see docs/PARALLEL.md).
 * :mod:`repro.hardness` — executable Lemma 4: the reduction that makes any
   fast DBSCAN algorithm solve the USEC problem.
 * :mod:`repro.data` — the seed-spreader generator of Section 5.1 and
@@ -29,6 +32,7 @@ from repro.api import (
 )
 from repro.core.params import ApproxParams, DBSCANParams
 from repro.core.result import NOISE, Clustering
+from repro.parallel import ParallelConfig
 from repro.errors import (
     AlgorithmError,
     CheckpointError,
@@ -50,6 +54,7 @@ __all__ = [
     "ResiliencePolicy",
     "Deadline",
     "MemoryBudget",
+    "ParallelConfig",
     "Clustering",
     "DBSCANParams",
     "ApproxParams",

@@ -17,9 +17,9 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.cellgraph import approx_components
 from repro.core.params import ApproxParams
 from repro.core.result import Clustering, empty_clustering
+from repro.parallel.executor import WorkersLike, as_parallel_config, parallel_approx_components
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.deadline import Deadline, as_deadline
 from repro.runtime.memory import MemoryBudget, as_memory_budget
@@ -42,6 +42,7 @@ def approx_dbscan(
     memory_budget_mb: Optional[float] = None,
     memory: Optional[MemoryBudget] = None,
     checkpoint: Optional[str] = None,
+    workers: WorkersLike = None,
 ) -> Clustering:
     """rho-approximate DBSCAN (Theorem 4).
 
@@ -66,6 +67,10 @@ def approx_dbscan(
         :class:`~repro.errors.MemoryBudgetExceeded`).
     checkpoint:
         Optional ``.npz`` path for phase-level checkpoint/resume.
+    workers:
+        Optional worker-process count (or a
+        :class:`~repro.parallel.ParallelConfig`) for the sharded parallel
+        pipeline; the labeling is identical to the serial run.
     """
     params = ApproxParams(eps, min_pts, rho)
     pts = as_points(points, allow_empty=True)
@@ -79,9 +84,12 @@ def approx_dbscan(
             }
         )
 
-    def connect(grid, core_mask, dl):
-        return approx_components(
-            grid, core_mask, params.rho, exact_leaf_size=exact_leaf_size, deadline=dl
+    cfg = as_parallel_config(workers)
+    guard = as_memory_budget(memory_budget_mb, memory)
+
+    def connect(grid, core_mask, dl, par):
+        return parallel_approx_components(
+            grid, core_mask, par, params.rho, exact_leaf_size, deadline=dl, memory=guard
         )
 
     return run_grid_pipeline(
@@ -96,6 +104,7 @@ def approx_dbscan(
             "rho": params.rho,
         },
         deadline=as_deadline(time_budget, deadline),
-        memory=as_memory_budget(memory_budget_mb, memory),
+        memory=guard,
         checkpoint=CheckpointStore(checkpoint) if checkpoint else None,
+        parallel=cfg,
     )

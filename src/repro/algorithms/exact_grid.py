@@ -24,9 +24,9 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.cellgraph import exact_components
 from repro.core.params import DBSCANParams
 from repro.core.result import Clustering
+from repro.parallel.executor import WorkersLike, as_parallel_config, parallel_exact_components
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.deadline import Deadline, as_deadline
 from repro.runtime.memory import MemoryBudget, as_memory_budget
@@ -48,6 +48,7 @@ def exact_grid_dbscan(
     memory_budget_mb: Optional[float] = None,
     memory: Optional[MemoryBudget] = None,
     checkpoint: Optional[str] = None,
+    workers: WorkersLike = None,
 ) -> Clustering:
     """Exact DBSCAN via the grid + BCP algorithm of Theorem 2.
 
@@ -55,13 +56,20 @@ def exact_grid_dbscan(
     :class:`~repro.errors.TimeoutExceeded`; ``memory_budget_mb`` guards the
     process RSS with :class:`~repro.errors.MemoryBudgetExceeded`;
     ``checkpoint`` names a ``.npz`` file that each completed phase is saved
-    to, from which an identical invocation resumes.
+    to, from which an identical invocation resumes.  ``workers`` (an int
+    or a :class:`~repro.parallel.ParallelConfig`) fans the cores /
+    components / borders phases out over a process pool; the labeling is
+    identical to the serial run (see ``docs/PARALLEL.md``).
     """
     params = DBSCANParams(eps, min_pts)
     pts = as_points(points)
+    cfg = as_parallel_config(workers)
+    guard = as_memory_budget(memory_budget_mb, memory)
 
-    def connect(grid, core_mask, dl):
-        return exact_components(grid, core_mask, bcp_strategy=bcp_strategy, deadline=dl)
+    def connect(grid, core_mask, dl, par):
+        return parallel_exact_components(
+            grid, core_mask, par, bcp_strategy, deadline=dl, memory=guard
+        )
 
     return run_grid_pipeline(
         pts,
@@ -75,8 +83,9 @@ def exact_grid_dbscan(
             "bcp_strategy": bcp_strategy,
         },
         deadline=as_deadline(time_budget, deadline),
-        memory=as_memory_budget(memory_budget_mb, memory),
+        memory=guard,
         checkpoint=CheckpointStore(checkpoint) if checkpoint else None,
+        parallel=cfg,
     )
 
 
@@ -90,6 +99,7 @@ def gunawan_2d_dbscan(
     deadline: Optional[Deadline] = None,
     memory_budget_mb: Optional[float] = None,
     checkpoint: Optional[str] = None,
+    workers: WorkersLike = None,
 ) -> Clustering:
     """Gunawan's 2D O(n log n) algorithm (d = 2 only).
 
@@ -114,6 +124,7 @@ def gunawan_2d_dbscan(
         deadline=deadline,
         memory_budget_mb=memory_budget_mb,
         checkpoint=checkpoint,
+        workers=workers,
     )
     result.meta["algorithm"] = "gunawan2d"
     result.meta["edges"] = edges

@@ -27,6 +27,7 @@ from repro.algorithms.exact_grid import exact_grid_dbscan, gunawan_2d_dbscan
 from repro.algorithms.kdd96 import kdd96_dbscan
 from repro.core.result import Clustering, empty_clustering
 from repro.errors import ParameterError
+from repro.parallel.executor import ParallelConfig, WorkersLike, as_parallel_config
 from repro.runtime.deadline import as_deadline
 from repro.runtime.memory import as_memory_budget
 from repro.runtime.resilient import ResiliencePolicy, run_resilient, sampled_dbscan
@@ -45,6 +46,7 @@ def dbscan(
     *,
     memory_budget_mb: Optional[float] = None,
     checkpoint: Optional[str] = None,
+    workers: WorkersLike = None,
 ) -> Clustering:
     """Exact DBSCAN (Problem 1) with a selectable algorithm.
 
@@ -79,6 +81,17 @@ def dbscan(
         grid-pipeline algorithms (``"grid"`` and ``"gunawan2d"``): each
         completed phase is persisted, and an identical invocation resumes
         from the last completed phase.
+    workers:
+        Optional worker-process count (or a
+        :class:`~repro.parallel.ParallelConfig`).  Supported by the
+        grid-pipeline algorithms (``"grid"`` and ``"gunawan2d"``), whose
+        phases shard across a multiprocessing pool with output identical
+        to the serial run; explicitly requesting more than one worker for
+        any other algorithm raises
+        :class:`~repro.errors.ParameterError`.  Defaults to the
+        ``REPRO_WORKERS`` environment variable (see
+        :func:`repro.config.default_workers`); the environment default is
+        silently ignored by algorithms that cannot parallelise.
 
     Returns
     -------
@@ -97,9 +110,26 @@ def dbscan(
         )
     deadline = as_deadline(time_budget)
     memory = as_memory_budget(memory_budget_mb)
+    cfg = as_parallel_config(workers)
+    if cfg is not None and algorithm not in ("grid", "gunawan2d"):
+        if workers is None:
+            # The multi-worker request came from the REPRO_WORKERS
+            # environment default, not the caller: fall back to serial
+            # instead of making the env var poison non-grid algorithms.
+            cfg = None
+        else:
+            raise ParameterError(
+                f"algorithm {algorithm!r} does not support workers > 1; "
+                "only the grid-pipeline algorithms ('grid', 'gunawan2d') "
+                "parallelise"
+            )
+    # cfg is already resolved (env default included); pass 1 when serial so
+    # the callee does not consult the environment a second time.
+    resolved_workers: WorkersLike = cfg if cfg is not None else 1
     if algorithm == "grid":
         return exact_grid_dbscan(
-            pts, eps, min_pts, deadline=deadline, memory=memory, checkpoint=checkpoint
+            pts, eps, min_pts, deadline=deadline, memory=memory,
+            checkpoint=checkpoint, workers=resolved_workers,
         )
     if algorithm == "kdd96":
         return kdd96_dbscan(pts, eps, min_pts, deadline=deadline, memory=memory)
@@ -109,6 +139,7 @@ def dbscan(
         return gunawan_2d_dbscan(
             pts, eps, min_pts, deadline=deadline,
             memory_budget_mb=memory_budget_mb, checkpoint=checkpoint,
+            workers=resolved_workers,
         )
     if algorithm == "brute":
         return brute_dbscan(pts, eps, min_pts, deadline=deadline, memory=memory)
@@ -123,5 +154,6 @@ __all__ = [
     "run_resilient",
     "sampled_dbscan",
     "ResiliencePolicy",
+    "ParallelConfig",
     "EXACT_ALGORITHMS",
 ]

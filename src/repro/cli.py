@@ -44,6 +44,7 @@ def _run_algorithm(args, points):
             memory_budget_mb=args.memory_budget_mb,
             rho=args.rho,
             checkpoint=args.checkpoint,
+            workers=args.workers,
         )
         return run_resilient(points, args.eps, args.min_pts, policy)
     if args.algorithm == "approx":
@@ -55,6 +56,7 @@ def _run_algorithm(args, points):
             time_budget=args.time_budget,
             memory_budget_mb=args.memory_budget_mb,
             checkpoint=args.checkpoint,
+            workers=args.workers,
         )
     return dbscan(
         points,
@@ -64,6 +66,7 @@ def _run_algorithm(args, points):
         time_budget=args.time_budget,
         memory_budget_mb=args.memory_budget_mb,
         checkpoint=args.checkpoint,
+        workers=args.workers,
     )
 
 
@@ -140,13 +143,13 @@ def _cmd_compare(args) -> int:
     points = data_io.load_points(args.input)
     budget = args.time_budget
     first = dbscan(points, args.eps, args.min_pts, algorithm=args.first,
-                   time_budget=budget)
+                   time_budget=budget, workers=args.workers)
     if args.second == "approx":
         second = approx_dbscan(points, args.eps, args.min_pts, rho=args.rho,
-                               time_budget=budget)
+                               time_budget=budget, workers=args.workers)
     else:
         second = dbscan(points, args.eps, args.min_pts, algorithm=args.second,
-                        time_budget=budget)
+                        time_budget=budget, workers=args.workers)
     print(f"{args.first}: {first.summary()}")
     print(f"{args.second}: {second.summary()}")
     print(confusion_summary(first, second))
@@ -208,6 +211,10 @@ def build_parser() -> argparse.ArgumentParser:
     clu.add_argument("--checkpoint", default=None,
                      help=".npz checkpoint path for phase-level resume "
                           "(grid/gunawan2d/approx)")
+    clu.add_argument("--workers", type=int, default=None,
+                     help="worker processes for the grid-pipeline "
+                          "algorithms (grid/gunawan2d/approx); default "
+                          "$REPRO_WORKERS or 1")
     clu.add_argument("--resilience", action="store_true",
                      help="run the degradation cascade instead of one "
                           "algorithm: exact under budget, else "
@@ -237,6 +244,8 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("--second", choices=_ALL_ALGORITHMS, default="approx")
     cmp_.add_argument("--time-budget", dest="time_budget", type=float, default=None,
                      help="per-algorithm cut-off in seconds")
+    cmp_.add_argument("--workers", type=int, default=None,
+                     help="worker processes for grid-pipeline algorithms")
     cmp_.set_defaults(func=_cmd_compare)
 
     lr = sub.add_parser("legal-rho", help="maximum legal rho at one eps")

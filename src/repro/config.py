@@ -58,6 +58,37 @@ FIG9_EPS_VALUES = (5000.0, 11300.0, 12200.0)
 FIG9_RHO_VALUES = (0.001, 0.01, 0.1)
 
 
+def default_workers() -> int:
+    """Default worker-process count from the ``REPRO_WORKERS`` env variable.
+
+    ``1`` (the safe serial default) when unset or unparsable; public entry
+    points fall back to this whenever ``workers=None`` is passed, so a
+    deployment can turn the fleet parallel without touching call sites.
+    """
+    raw = os.environ.get("REPRO_WORKERS", "1")
+    try:
+        value = int(raw)
+    except ValueError:
+        return 1
+    return max(1, value)
+
+
+def parallel_min_points() -> int:
+    """Serial-fallback threshold from ``REPRO_PARALLEL_MIN_POINTS``.
+
+    Below this cardinality the parallel layer runs serially — pool startup
+    and payload pickling dwarf the work on small inputs.  The environment
+    override exists so CI can set it to 0 and force every run through the
+    sharded path.
+    """
+    raw = os.environ.get("REPRO_PARALLEL_MIN_POINTS", "4096")
+    try:
+        value = int(raw)
+    except ValueError:
+        return 4096
+    return max(0, value)
+
+
 def scale_factor() -> float:
     """Workload multiplier taken from the ``REPRO_SCALE`` environment variable."""
     raw = os.environ.get("REPRO_SCALE", "1")

@@ -30,18 +30,28 @@ def assign_borders(
     core_labels: np.ndarray,
     *,
     deadline: Optional["Deadline"] = None,
+    cells=None,
 ) -> Dict[int, Tuple[int, ...]]:
     """Map each border point to the sorted tuple of cluster ids it joins.
 
     ``core_labels`` holds a dense component id for every core point.
     Points with no core point within ``eps`` are simply absent from the
     returned mapping (they are noise).  ``deadline`` is polled per cell.
+
+    ``cells`` optionally restricts the pass to an iterable of cell
+    coordinates; the decision for each non-core point only reads its own
+    cell's eps-neighbourhood, so shard passes over a partition of the grid
+    merge (by plain dict union) into the full assignment.
     """
     points = grid.points
     sq_eps = grid.eps * grid.eps
     out: Dict[int, Tuple[int, ...]] = {}
+    if cells is None:
+        work = grid.cells.items()
+    else:
+        work = ((tuple(c), grid.points_in(c)) for c in cells)
 
-    for cell, idx in grid.cells.items():
+    for cell, idx in work:
         if deadline is not None:
             deadline.tick()
         non_core = idx[~core_mask[idx]]

@@ -45,22 +45,19 @@ def core_cells(grid: Grid, core_mask: np.ndarray) -> Dict[CellCoord, np.ndarray]
     return out
 
 
-def exact_components(
+def exact_edge_predicate(
     grid: Grid,
-    core_mask: np.ndarray,
+    cells: Dict[CellCoord, np.ndarray],
     bcp_strategy: str = "auto",
-    *,
-    deadline: Optional["Deadline"] = None,
-) -> Tuple[np.ndarray, int]:
-    """Connected components of the exact graph ``G``.
+):
+    """Build the exact edge test ``edge(c1, c2) -> bool`` over core cells.
 
-    Returns ``(labels, k)``: a dense component id per point (valid only at
-    core positions; ``-1`` elsewhere) and the number of components ``k``.
-    ``deadline`` is polled once per candidate cell pair — i.e. before each
-    BCP computation, the dominant cost of the phase.
+    The closure is a *pure, deterministic* function of ``(grid, cells)`` —
+    the property the parallel layer relies on: any spanning subset of the
+    true edges, evaluated in any order by any process, yields the same
+    connected components.  Per-cell search structures (kd-trees, Voronoi
+    diagrams) are cached inside the closure and reused across calls.
     """
-    cells = core_cells(grid, core_mask)
-    uf = KeyedUnionFind(cells.keys())
     points = grid.points
     if bcp_strategy == "kdtree":
         # Gunawan-style: one search structure per core cell, reused across
@@ -104,6 +101,61 @@ def exact_components(
                 points[cells[c1]], points[cells[c2]], grid.eps, strategy=bcp_strategy
             )
 
+    return edge
+
+
+def approx_edge_predicate(
+    grid: Grid,
+    cells: Dict[CellCoord, np.ndarray],
+    rho: float,
+    exact_leaf_size: int | None = None,
+    structures: Optional[Dict[CellCoord, CountingHierarchy]] = None,
+):
+    """Build the rho-approximate edge test ``edge(c1, c2) -> bool``.
+
+    Queries the Lemma 5 structure of ``c2`` with the core points of ``c1``
+    under the paper's yes / no / don't-care contract.  The answer for an
+    *oriented* pair is deterministic (the structure build is), which is why
+    serial and parallel runs agree exactly as long as both evaluate pairs
+    in the orientation :meth:`Grid.neighbor_cell_pairs` emits them.
+
+    ``structures`` optionally seeds the per-cell structure cache (the
+    serial path pre-builds all of them under the deadline); missing entries
+    are built lazily, which is what worker processes do for the cells their
+    pair chunks actually touch.
+    """
+    points = grid.points
+    kwargs = {} if exact_leaf_size is None else {"exact_leaf_size": exact_leaf_size}
+    cache: Dict[CellCoord, CountingHierarchy] = {} if structures is None else structures
+
+    def edge(c1: CellCoord, c2: CellCoord) -> bool:
+        structure = cache.get(c2)
+        if structure is None:
+            structure = cache[c2] = CountingHierarchy(
+                points[cells[c2]], grid.eps, rho, **kwargs
+            )
+        return any(structure.contains_any(p) for p in points[cells[c1]])
+
+    return edge
+
+
+def exact_components(
+    grid: Grid,
+    core_mask: np.ndarray,
+    bcp_strategy: str = "auto",
+    *,
+    deadline: Optional["Deadline"] = None,
+) -> Tuple[np.ndarray, int]:
+    """Connected components of the exact graph ``G``.
+
+    Returns ``(labels, k)``: a dense component id per point (valid only at
+    core positions; ``-1`` elsewhere) and the number of components ``k``.
+    ``deadline`` is polled once per candidate cell pair — i.e. before each
+    BCP computation, the dominant cost of the phase.
+    """
+    cells = core_cells(grid, core_mask)
+    uf = KeyedUnionFind(cells.keys())
+    edge = exact_edge_predicate(grid, cells, bcp_strategy)
     for c1, c2 in grid.neighbor_cell_pairs(subset=cells.keys()):
         if deadline is not None:
             deadline.tick()
@@ -138,16 +190,16 @@ def approx_components(
         if deadline is not None:
             deadline.tick()
         structures[cell] = CountingHierarchy(points[idx], grid.eps, rho, **kwargs)
+    edge = approx_edge_predicate(
+        grid, cells, rho, exact_leaf_size, structures=structures
+    )
     for c1, c2 in grid.neighbor_cell_pairs(subset=cells.keys()):
         if deadline is not None:
             deadline.tick()
         if uf.connected(c1, c2):
             continue
-        structure = structures[c2]
-        for p in points[cells[c1]]:
-            if structure.contains_any(p):
-                uf.union(c1, c2)
-                break
+        if edge(c1, c2):
+            uf.union(c1, c2)
     return _labels_from_components(grid, cells, uf)
 
 

@@ -26,13 +26,23 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
 
 
 def label_cores(
-    grid: Grid, min_pts: int, *, deadline: Optional["Deadline"] = None
+    grid: Grid,
+    min_pts: int,
+    *,
+    deadline: Optional["Deadline"] = None,
+    cells=None,
 ) -> np.ndarray:
     """Boolean core mask for every point of ``grid.points``.
 
     ``deadline`` (if given) is polled once per cell, so a labeling pass
     over a huge grid aborts promptly with
     :class:`~repro.errors.TimeoutExceeded`.
+
+    ``cells`` optionally restricts the pass to an iterable of cell
+    coordinates (a *shard*); positions outside those cells stay ``False``.
+    The per-cell decision only reads the cell's eps-neighbour cells, so a
+    union of shard passes over a partition of the grid equals the full
+    pass — this is what :mod:`repro.parallel` fans out over workers.
     """
     if grid.side > grid.eps / np.sqrt(grid.dim) * (1.0 + 1e-9):
         raise AlgorithmError(
@@ -42,8 +52,12 @@ def label_cores(
     points = grid.points
     sq_eps = grid.eps * grid.eps
     core = np.zeros(len(points), dtype=bool)
+    if cells is None:
+        work = grid.cells.items()
+    else:
+        work = ((tuple(c), grid.points_in(c)) for c in cells)
 
-    for cell, idx in grid.cells.items():
+    for cell, idx in work:
         if deadline is not None:
             deadline.tick()
         if len(idx) >= min_pts:

@@ -39,6 +39,12 @@ class TimeoutExceeded(ReproError, RuntimeError):
         self.elapsed = elapsed
         self.budget = budget
 
+    def __reduce__(self):
+        # Default Exception pickling would replay ``args`` (the formatted
+        # message) into ``__init__`` and crash on the missing ``budget``;
+        # worker processes re-raise this error across the pool boundary.
+        return (TimeoutExceeded, (self.elapsed, self.budget))
+
 
 class MemoryBudgetExceeded(ReproError, RuntimeError):
     """A run exceeded (or would exceed) its configured memory budget.
@@ -57,6 +63,11 @@ class MemoryBudgetExceeded(ReproError, RuntimeError):
         self.observed_bytes = float(observed_bytes)
         self.budget_bytes = float(budget_bytes)
         self.phase = phase
+
+    def __reduce__(self):
+        # See TimeoutExceeded.__reduce__: keep the error picklable across
+        # worker-pool boundaries despite the multi-argument constructor.
+        return (MemoryBudgetExceeded, (self.observed_bytes, self.budget_bytes, self.phase))
 
 
 class CheckpointError(ReproError, RuntimeError):

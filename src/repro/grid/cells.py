@@ -100,6 +100,7 @@ class Grid:
         # box-distance computation, build the full adjacency map instead.
         # Built lazily on first neighbour query.
         self._adjacency: Dict[CellCoord, List[CellCoord]] | None = None
+        self._key_coords: np.ndarray | None = None
         m = len(self._cells)
         probe_cost = len(self._offsets) * m
         self._use_allpairs = (
@@ -135,22 +136,65 @@ class Grid:
         """Build the full cell-adjacency map by all-pairs box tests."""
         if self._adjacency is not None:
             return self._adjacency
+        self._adjacency = self.adjacency_rows(list(self._cells.keys()))
+        return self._adjacency
+
+    def adjacency_rows(self, keys_block: List[CellCoord]) -> Dict[CellCoord, List[CellCoord]]:
+        """Adjacency lists for a block of cells, by vectorised box tests.
+
+        The unit of work of the all-pairs adjacency build: each block row
+        is independent of every other, which is what lets the parallel
+        executor shard the build across workers and merge the returned
+        dicts (:func:`repro.parallel.executor.parallel_warm_neighbors`).
+        Internally chunked so the ``rows x cells`` distance blocks stay a
+        few million elements regardless of block size.
+        """
         keys = list(self._cells.keys())
-        coords = np.asarray(keys, dtype=np.int64).reshape(len(keys), self.dim)
-        m = len(keys)
+        if self._key_coords is None:
+            self._key_coords = np.asarray(keys, dtype=np.int64).reshape(len(keys), self.dim)
+        coords = self._key_coords
         limit = self.eps * self.eps * (1.0 + 1e-9)
-        adjacency: Dict[CellCoord, List[CellCoord]] = {key: [] for key in keys}
-        chunk = max(1, 2_000_000 // max(m * self.dim, 1))
-        for start in range(0, m, chunk):
-            block = coords[start:start + chunk]
+        block_keys = [tuple(k) for k in keys_block]
+        out: Dict[CellCoord, List[CellCoord]] = {}
+        sub = max(1, 2_000_000 // max(len(keys) * self.dim, 1))
+        for start in range(0, len(block_keys), sub):
+            part = block_keys[start:start + sub]
+            block = np.asarray(part, dtype=np.int64).reshape(len(part), self.dim)
             gaps = (np.maximum(np.abs(block[:, None, :] - coords[None, :, :]) - 1, 0)
                     * self.side)
             ok = np.einsum("bmd,bmd->bm", gaps, gaps) <= limit
-            for bi in range(len(block)):
-                i = start + bi
-                adjacency[keys[i]] = [keys[j] for j in np.nonzero(ok[bi])[0] if j != i]
+            for bi, key in enumerate(part):
+                out[key] = [keys[j] for j in np.nonzero(ok[bi])[0] if keys[j] != key]
+        return out
+
+    @property
+    def needs_neighbor_warmup(self) -> bool:
+        """True while the all-pairs adjacency map is still unbuilt."""
+        return self._use_allpairs and self._adjacency is None
+
+    def warm_neighbors(self) -> None:
+        """Pre-build the neighbour machinery this grid will use.
+
+        A no-op on the offset-probe path.  On the all-pairs path this
+        forces the (expensive, cached) adjacency build *now* — the parallel
+        executor calls it before forking workers so every worker inherits
+        the warm table instead of each rebuilding it.
+        """
+        if self._use_allpairs:
+            self._ensure_adjacency()
+
+    def install_adjacency(self, adjacency: Dict[CellCoord, List[CellCoord]]) -> None:
+        """Install an externally assembled adjacency map.
+
+        Used by the parallel executor after sharding
+        :meth:`adjacency_rows` across workers; the map must cover every
+        non-empty cell.
+        """
+        if len(adjacency) != len(self._cells):
+            raise ParameterError(
+                f"adjacency covers {len(adjacency)} cells; grid has {len(self._cells)}"
+            )
         self._adjacency = adjacency
-        return adjacency
 
     def neighbor_cells(self, cell: CellCoord, *, include_self: bool = False) -> Iterator[CellCoord]:
         """Yield the non-empty eps-neighbour cells of ``cell``.

@@ -1,0 +1,45 @@
+"""Multiprocessing execution layer for the shared grid pipeline.
+
+The paper's Theorem 2 decomposition is embarrassingly parallel: core
+determination is per-cell, the core-cell graph is per-edge, and border
+assignment is per-cell again.  This package shards the grid into
+spatially contiguous cell blocks, fans the three data-parallel phases out
+over a worker pool, and stitches per-shard union-find forests back into
+the global component labeling — producing output *identical* to the
+serial pipeline (see ``docs/PARALLEL.md`` for the correctness argument
+and ``tests/test_parallel_equivalence.py`` for the differential oracle).
+
+Public entry points accept ``workers=`` (an int or a
+:class:`ParallelConfig`); ``repro-dbscan --workers N`` exposes it on the
+command line, and the ``REPRO_WORKERS`` environment variable sets the
+fleet-wide default.
+"""
+
+from repro.parallel.executor import (
+    OVERSHARD,
+    ParallelConfig,
+    as_parallel_config,
+    effective_workers,
+    parallel_approx_components,
+    parallel_assign_borders,
+    parallel_exact_components,
+    parallel_label_cores,
+    parallel_warm_neighbors,
+)
+from repro.parallel.shard import assign_shards, chunked, shard_cells, split_pairs
+
+__all__ = [
+    "ParallelConfig",
+    "as_parallel_config",
+    "effective_workers",
+    "parallel_label_cores",
+    "parallel_exact_components",
+    "parallel_approx_components",
+    "parallel_assign_borders",
+    "parallel_warm_neighbors",
+    "shard_cells",
+    "assign_shards",
+    "split_pairs",
+    "chunked",
+    "OVERSHARD",
+]

@@ -1,0 +1,367 @@
+"""Parent-process orchestration of the parallel grid pipeline.
+
+The three data-parallel phases of the shared pipeline (core labeling,
+core-cell graph connectivity, border assignment) fan out over a
+``multiprocessing.Pool`` via chunked ``imap_unordered``:
+
+* **cores / borders** — per-cell work with read-only inputs; shards of
+  spatially contiguous cells are processed independently and the results
+  (index/flag arrays, border dicts) merged by direct writes;
+* **components** — candidate cell pairs are split into intra-shard lists
+  (each evaluated under a worker-local union-find, i.e. a per-shard
+  forest) and cross-shard *boundary* chunks; every task returns the pairs
+  it actually united, and the parent stitches all of them into one global
+  :class:`~repro.utils.unionfind.KeyedUnionFind` built over the core
+  cells in the same insertion order the serial path uses — which makes
+  the final component labels *identical*, not merely isomorphic.
+
+Every phase falls back to the serial implementation when the resolved
+worker count is 1, the input is below :attr:`ParallelConfig.min_points`,
+or there are fewer cells than workers.  Workers poll the remaining time
+budget and the memory limit cooperatively (see ``repro.parallel.worker``);
+the parent re-raises the first worker error and terminates the pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro import config
+from repro.core.border import assign_borders
+from repro.core.cellgraph import (
+    _labels_from_components,
+    approx_components,
+    core_cells,
+    exact_components,
+)
+from repro.core.labeling import label_cores
+from repro.errors import ParameterError
+from repro.grid.cells import Grid
+from repro.parallel import worker
+from repro.parallel.shard import assign_shards, chunked, shard_cells, split_pairs
+from repro.runtime.deadline import Deadline
+from repro.runtime.memory import MemoryBudget
+from repro.utils.log import get_logger
+from repro.utils.unionfind import KeyedUnionFind
+
+_log = get_logger("parallel.executor")
+
+#: Shards per worker for the per-cell phases: mild over-sharding lets
+#: ``imap_unordered`` rebalance skewed cell occupancy across the pool.
+OVERSHARD = 4
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How the grid pipeline distributes work over processes.
+
+    Parameters
+    ----------
+    workers:
+        Worker-process count.  ``1`` disables the pool entirely.
+    min_points:
+        Serial fallback threshold: inputs smaller than this never spawn a
+        pool (startup + payload transfer dominate the work there).  The
+        default follows ``REPRO_PARALLEL_MIN_POINTS`` (see
+        :func:`repro.config.parallel_min_points`).
+    chunk_pairs:
+        Boundary-edge chunk size for the component phase.
+    start_method:
+        Explicit multiprocessing start method; ``None`` picks ``fork``
+        where available (cheap, copy-on-write payloads) and the platform
+        default elsewhere.
+    """
+
+    workers: int = 1
+    min_points: int = field(default_factory=config.parallel_min_points)
+    chunk_pairs: int = 256
+    start_method: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if int(self.workers) < 1:
+            raise ParameterError(f"workers must be >= 1; got {self.workers}")
+        if int(self.chunk_pairs) < 1:
+            raise ParameterError(f"chunk_pairs must be >= 1; got {self.chunk_pairs}")
+
+
+WorkersLike = Union[None, int, ParallelConfig]
+
+
+def as_parallel_config(workers: WorkersLike) -> Optional[ParallelConfig]:
+    """Normalise the public ``workers`` argument.
+
+    ``None`` consults :func:`repro.config.default_workers` (the
+    ``REPRO_WORKERS`` environment default); an integer becomes a default
+    :class:`ParallelConfig`; a ready-made config passes through.  ``None``
+    is returned whenever the resolved worker count is 1, so callers can
+    use ``cfg is None`` as "strictly serial".
+    """
+    if workers is None:
+        workers = config.default_workers()
+    if isinstance(workers, ParallelConfig):
+        return None if workers.workers == 1 else workers
+    count = int(workers)
+    if count < 1:
+        raise ParameterError(f"workers must be >= 1; got {workers}")
+    return None if count == 1 else ParallelConfig(workers=count)
+
+
+def effective_workers(
+    cfg: Optional[ParallelConfig], n_points: int, n_cells: int
+) -> int:
+    """Resolved worker count for one phase (1 means run serial)."""
+    if cfg is None:
+        return 1
+    if n_points < cfg.min_points:
+        return 1
+    return max(1, min(int(cfg.workers), n_cells))
+
+
+def _base_payload(
+    grid: Grid,
+    phase: str,
+    deadline: Optional[Deadline],
+    memory: Optional[MemoryBudget],
+) -> Dict[str, object]:
+    time_remaining = None
+    if deadline is not None and deadline.budget is not None:
+        # Workers measure from their own start, so hand them what is left.
+        time_remaining = max(deadline.remaining(), 1e-3)
+    memory_limit_mb = None
+    if memory is not None and memory.limit_bytes is not None:
+        memory_limit_mb = memory.limit_bytes / 1e6
+    return {
+        "grid": grid,
+        "phase": phase,
+        "time_remaining": time_remaining,
+        "memory_limit_mb": memory_limit_mb,
+    }
+
+
+def parallel_warm_neighbors(
+    grid: Grid,
+    cfg: Optional[ParallelConfig],
+    *,
+    deadline: Optional[Deadline] = None,
+    memory: Optional[MemoryBudget] = None,
+) -> None:
+    """Build the grid's all-pairs adjacency map, sharded over the pool.
+
+    On grids that use the all-pairs neighbour strategy this build is the
+    dominant *serial* cost of a parallel run (every later phase only reads
+    the finished map), so it gets its own fan-out: workers compute
+    :meth:`~repro.grid.cells.Grid.adjacency_rows` for blocks of cells and
+    the parent merges the rows and installs the map.  A no-op when the
+    grid probes offsets instead, and serial below the fallback thresholds.
+
+    Every later payload then carries the *warm* grid: under fork the
+    workers of subsequent phases inherit the table copy-on-write; under
+    spawn it rides along in the pickled payload — built once either way.
+    """
+    if not grid.needs_neighbor_warmup:
+        return
+    n_workers = effective_workers(cfg, len(grid.points), len(grid))
+    if n_workers <= 1:
+        grid.warm_neighbors()
+        return
+    _check_guards(deadline, memory, "grid")
+    keys = list(grid.cells.keys())
+    block = max(1, (len(keys) + n_workers * OVERSHARD - 1) // (n_workers * OVERSHARD))
+    blocks = chunked(keys, block)
+    payload = _base_payload(grid, "grid", deadline, memory)
+    adjacency = {}
+    _log.debug("adjacency warm-up: %d blocks over %d workers", len(blocks), n_workers)
+    with _pool(cfg, n_workers, payload) as pool:
+        for rows in pool.imap_unordered(worker.adjacency_task, blocks):
+            adjacency.update(rows)
+            _check_guards(deadline, memory, "grid")
+        pool.close()
+        pool.join()
+    grid.install_adjacency(adjacency)
+
+
+def _pool(cfg: ParallelConfig, n_workers: int, payload: Dict[str, object]):
+    method = cfg.start_method
+    if method is None and "fork" in mp.get_all_start_methods():
+        method = "fork"
+    ctx = mp.get_context(method)
+    return ctx.Pool(
+        processes=n_workers, initializer=worker.init_worker, initargs=(payload,)
+    )
+
+
+def _check_guards(deadline: Optional[Deadline], memory: Optional[MemoryBudget], phase: str) -> None:
+    if deadline is not None:
+        deadline.check()
+    if memory is not None:
+        memory.check(phase)
+
+
+def parallel_label_cores(
+    grid: Grid,
+    min_pts: int,
+    cfg: Optional[ParallelConfig],
+    *,
+    deadline: Optional[Deadline] = None,
+    memory: Optional[MemoryBudget] = None,
+) -> np.ndarray:
+    """Phase-2 core determination, sharded over the pool (or serial)."""
+    n_workers = effective_workers(cfg, len(grid.points), len(grid))
+    if n_workers <= 1:
+        return label_cores(grid, min_pts, deadline=deadline)
+    _check_guards(deadline, memory, "cores")
+    parallel_warm_neighbors(grid, cfg, deadline=deadline, memory=memory)
+    weights = {c: len(idx) for c, idx in grid.cells.items()}
+    shards = shard_cells(grid.cells.keys(), n_workers * OVERSHARD, weights)
+    payload = _base_payload(grid, "cores", deadline, memory)
+    payload["min_pts"] = int(min_pts)
+    core = np.zeros(len(grid.points), dtype=bool)
+    _log.debug("cores phase: %d shards over %d workers", len(shards), n_workers)
+    with _pool(cfg, n_workers, payload) as pool:
+        for idx, flags in pool.imap_unordered(worker.cores_task, shards):
+            core[idx] = flags
+            _check_guards(deadline, memory, "cores")
+        pool.close()
+        pool.join()
+    return core
+
+
+def parallel_exact_components(
+    grid: Grid,
+    core_mask: np.ndarray,
+    cfg: Optional[ParallelConfig],
+    bcp_strategy: str = "auto",
+    *,
+    deadline: Optional[Deadline] = None,
+    memory: Optional[MemoryBudget] = None,
+) -> Tuple[np.ndarray, int]:
+    """Phase-3 exact connectivity: per-shard forests + boundary stitching."""
+    return _parallel_components(
+        grid,
+        core_mask,
+        cfg,
+        {"edge_rule": "exact", "bcp_strategy": bcp_strategy},
+        deadline=deadline,
+        memory=memory,
+    )
+
+
+def parallel_approx_components(
+    grid: Grid,
+    core_mask: np.ndarray,
+    cfg: Optional[ParallelConfig],
+    rho: float,
+    exact_leaf_size: int | None = None,
+    *,
+    deadline: Optional[Deadline] = None,
+    memory: Optional[MemoryBudget] = None,
+) -> Tuple[np.ndarray, int]:
+    """Phase-3 rho-approximate connectivity over the pool (or serial)."""
+    return _parallel_components(
+        grid,
+        core_mask,
+        cfg,
+        {"edge_rule": "approx", "rho": float(rho), "exact_leaf_size": exact_leaf_size},
+        deadline=deadline,
+        memory=memory,
+    )
+
+
+def _parallel_components(
+    grid: Grid,
+    core_mask: np.ndarray,
+    cfg: Optional[ParallelConfig],
+    edge_payload: Dict[str, object],
+    *,
+    deadline: Optional[Deadline],
+    memory: Optional[MemoryBudget],
+) -> Tuple[np.ndarray, int]:
+    cells = core_cells(grid, core_mask)
+    n_workers = effective_workers(cfg, len(grid.points), len(cells))
+    if n_workers <= 1:
+        if edge_payload["edge_rule"] == "exact":
+            return exact_components(
+                grid, core_mask, edge_payload["bcp_strategy"], deadline=deadline
+            )
+        return approx_components(
+            grid,
+            core_mask,
+            edge_payload["rho"],
+            edge_payload["exact_leaf_size"],
+            deadline=deadline,
+        )
+    _check_guards(deadline, memory, "components")
+    parallel_warm_neighbors(grid, cfg, deadline=deadline, memory=memory)
+
+    pairs = []
+    for pair in grid.neighbor_cell_pairs(subset=cells.keys()):
+        if deadline is not None:
+            deadline.tick()
+        pairs.append(pair)
+    weights = {c: len(idx) for c, idx in cells.items()}
+    shards = shard_cells(cells.keys(), n_workers, weights)
+    owner = assign_shards(shards)
+    intra, boundary = split_pairs(pairs, owner, len(shards))
+    tasks = [block for block in intra if block]
+    tasks.extend(chunked(boundary, cfg.chunk_pairs))
+    _log.debug(
+        "components phase: %d intra lists + %d boundary pairs in %d tasks "
+        "over %d workers",
+        sum(len(b) for b in intra),
+        len(boundary),
+        len(tasks),
+        n_workers,
+    )
+
+    payload = _base_payload(grid, "components", deadline, memory)
+    payload["core_mask"] = core_mask
+    payload.update(edge_payload)
+
+    # The stitching pass: one forest over *all* core cells, registered in
+    # the same order the serial path uses, so component labels (assigned
+    # by first appearance) come out identical.
+    uf = KeyedUnionFind(cells.keys())
+    if tasks:
+        with _pool(cfg, n_workers, payload) as pool:
+            for united in pool.imap_unordered(worker.edges_task, tasks):
+                for c1, c2 in united:
+                    uf.union(c1, c2)
+                _check_guards(deadline, memory, "components")
+            pool.close()
+            pool.join()
+    return _labels_from_components(grid, cells, uf)
+
+
+def parallel_assign_borders(
+    grid: Grid,
+    core_mask: np.ndarray,
+    core_labels: np.ndarray,
+    cfg: Optional[ParallelConfig],
+    *,
+    deadline: Optional[Deadline] = None,
+    memory: Optional[MemoryBudget] = None,
+) -> Dict[int, Tuple[int, ...]]:
+    """Phase-4 border assignment, sharded over the pool (or serial)."""
+    n_workers = effective_workers(cfg, len(grid.points), len(grid))
+    if n_workers <= 1:
+        return assign_borders(grid, core_mask, core_labels, deadline=deadline)
+    _check_guards(deadline, memory, "borders")
+    parallel_warm_neighbors(grid, cfg, deadline=deadline, memory=memory)
+    weights = {c: len(idx) for c, idx in grid.cells.items()}
+    shards = shard_cells(grid.cells.keys(), n_workers * OVERSHARD, weights)
+    payload = _base_payload(grid, "borders", deadline, memory)
+    payload["core_mask"] = core_mask
+    payload["core_labels"] = core_labels
+    out: Dict[int, Tuple[int, ...]] = {}
+    _log.debug("borders phase: %d shards over %d workers", len(shards), n_workers)
+    with _pool(cfg, n_workers, payload) as pool:
+        for items in pool.imap_unordered(worker.borders_task, shards):
+            out.update(items)
+            _check_guards(deadline, memory, "borders")
+        pool.close()
+        pool.join()
+    return out

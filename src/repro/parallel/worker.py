@@ -1,0 +1,156 @@
+"""Worker-process side of the parallel grid pipeline.
+
+Each pool worker is initialised once per phase with a *payload* dict
+carrying the parent's :class:`~repro.grid.cells.Grid` itself — under the
+preferred ``fork`` start method the object (including its lazily built,
+expensive neighbour-adjacency table, which the parent warms first) is
+inherited copy-on-write for free; under ``spawn`` it is pickled once per
+worker.  The payload also carries the *remaining* time
+budget and the memory limit, from which the worker builds its own
+cooperative :class:`~repro.runtime.Deadline` and
+:class:`~repro.runtime.MemoryBudget` — budgets are polled inside workers
+exactly as they are in the serial hot loops, and a worker that trips one
+re-raises the library's own error across the pool boundary (the errors
+are pickle-safe; see ``repro.errors``).
+
+Task functions reuse the *serial* implementations (`label_cores`,
+`assign_borders`, the cellgraph edge predicates) restricted to a shard's
+cells, so there is a single source of truth for the per-cell and per-pair
+decisions and serial/parallel drift is impossible by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.border import assign_borders
+from repro.core.cellgraph import (
+    approx_edge_predicate,
+    core_cells,
+    exact_edge_predicate,
+)
+from repro.core.labeling import label_cores
+from repro.grid.cells import CellCoord, Grid
+from repro.runtime.deadline import Deadline
+from repro.runtime.memory import MemoryBudget
+from repro.utils.unionfind import KeyedUnionFind
+
+Pair = Tuple[CellCoord, CellCoord]
+
+#: Per-process context, set by :func:`init_worker` (pool initializer).
+_CTX: Optional[Dict[str, object]] = None
+
+
+def init_worker(payload: Dict[str, object]) -> None:
+    """Pool initializer: adopt the parent's grid, build per-process guards."""
+    global _CTX
+    grid: Grid = payload["grid"]
+    time_remaining = payload.get("time_remaining")
+    memory_limit_mb = payload.get("memory_limit_mb")
+    ctx: Dict[str, object] = {
+        "grid": grid,
+        "deadline": None if time_remaining is None else Deadline(float(time_remaining)),
+        "memory": None if memory_limit_mb is None else MemoryBudget(float(memory_limit_mb)),
+        "min_pts": payload.get("min_pts"),
+        "phase": payload.get("phase", ""),
+        "edge": None,
+    }
+    core_mask = payload.get("core_mask")
+    if core_mask is not None:
+        ctx["core_mask"] = np.asarray(core_mask, dtype=bool)
+        ctx["cells"] = core_cells(grid, ctx["core_mask"])
+    core_labels = payload.get("core_labels")
+    if core_labels is not None:
+        ctx["core_labels"] = np.asarray(core_labels, dtype=np.int64)
+    edge_rule = payload.get("edge_rule")
+    if edge_rule == "exact":
+        ctx["edge"] = exact_edge_predicate(grid, ctx["cells"], payload["bcp_strategy"])
+    elif edge_rule == "approx":
+        ctx["edge"] = approx_edge_predicate(
+            grid, ctx["cells"], payload["rho"], payload.get("exact_leaf_size")
+        )
+    _CTX = ctx
+
+
+def _ctx() -> Dict[str, object]:
+    if _CTX is None:
+        raise RuntimeError("worker context not initialised; init_worker did not run")
+    return _CTX
+
+
+def _guards() -> Tuple[Optional[Deadline], Optional[MemoryBudget], str]:
+    ctx = _ctx()
+    return ctx["deadline"], ctx["memory"], str(ctx["phase"])
+
+
+def adjacency_task(
+    cell_block: Sequence[CellCoord],
+) -> List[Tuple[CellCoord, List[CellCoord]]]:
+    """All-pairs adjacency rows for one block of cells."""
+    ctx = _ctx()
+    deadline, memory, phase = _guards()
+    if deadline is not None:
+        deadline.tick()
+    grid: Grid = ctx["grid"]
+    rows = grid.adjacency_rows(list(cell_block))
+    if memory is not None:
+        memory.check(phase)
+    return list(rows.items())
+
+
+def cores_task(cell_block: Sequence[CellCoord]) -> Tuple[np.ndarray, np.ndarray]:
+    """Core determination for one shard: ``(point_indices, core_flags)``."""
+    ctx = _ctx()
+    deadline, memory, phase = _guards()
+    grid: Grid = ctx["grid"]
+    mask = label_cores(grid, int(ctx["min_pts"]), deadline=deadline, cells=cell_block)
+    if memory is not None:
+        memory.check(phase)
+    blocks = [grid.points_in(c) for c in cell_block]
+    idx = np.concatenate(blocks) if blocks else np.empty(0, dtype=np.int64)
+    return idx, mask[idx]
+
+
+def edges_task(pairs: Sequence[Pair]) -> List[Pair]:
+    """Evaluate a chunk of oriented candidate pairs; return the unions made.
+
+    A chunk-local union-find short-circuits the edge test for pairs its
+    own emitted edges already connect (for an intra-shard chunk this is
+    the full serial short-circuit).  The emitted subset spans the same
+    connectivity as the chunk's true edge set, so the parent's stitching
+    pass reconstructs the global components exactly.
+    """
+    ctx = _ctx()
+    deadline, memory, phase = _guards()
+    edge = ctx["edge"]
+    uf = KeyedUnionFind()
+    out: List[Pair] = []
+    for c1, c2 in pairs:
+        if deadline is not None:
+            deadline.tick()
+        if uf.connected(c1, c2):
+            continue
+        if edge(c1, c2):
+            uf.union(c1, c2)
+            out.append((c1, c2))
+    if memory is not None:
+        memory.check(phase)
+    return out
+
+
+def borders_task(cell_block: Sequence[CellCoord]) -> List[Tuple[int, Tuple[int, ...]]]:
+    """Border assignment for one shard, as ``(point, cluster-ids)`` items."""
+    ctx = _ctx()
+    deadline, memory, phase = _guards()
+    out = assign_borders(
+        ctx["grid"],
+        ctx["core_mask"],
+        ctx["core_labels"],
+        deadline=deadline,
+        cells=cell_block,
+    )
+    if memory is not None:
+        memory.check(phase)
+    return list(out.items())

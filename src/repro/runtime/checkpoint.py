@@ -15,6 +15,12 @@ validates a fingerprint of the input points and the parameters before
 trusting the file; corrupt or mismatched checkpoints are *recoverable* —
 the loader raises :class:`~repro.errors.CheckpointError`, and the pipeline
 logs a WARNING and recomputes from scratch.
+
+The parameter fingerprint includes the requested ``workers`` count: a
+checkpoint written by a parallel run is only resumed by an invocation
+requesting the same parallelism, so a resume never silently mixes shard
+layouts with serial state (phases are whole-output snapshots either way,
+but the fingerprint keeps provenance honest and reproducible).
 """
 
 from __future__ import annotations

@@ -12,7 +12,12 @@ control flow once, and is where the robustness guarantees attach:
 * when a :class:`~repro.runtime.CheckpointStore` is attached, each
   completed phase is persisted before the next begins, and a rerun resumes
   from the latest phase whose output is on disk (corrupt or mismatched
-  checkpoints degrade to a fresh start with a WARNING).
+  checkpoints degrade to a fresh start with a WARNING);
+* when a :class:`~repro.parallel.ParallelConfig` is attached, the cores /
+  components / borders phases fan out over a worker pool
+  (:mod:`repro.parallel`), checkpoints stay phase-granular, and the
+  worker count joins the checkpoint parameters so resumes never mix
+  shard layouts.
 """
 
 from __future__ import annotations
@@ -21,10 +26,15 @@ from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.core.border import assign_borders
-from repro.core.labeling import label_cores
 from repro.core.result import Clustering, build_clustering
 from repro.grid.cells import Grid
+from repro.parallel.executor import (
+    ParallelConfig,
+    effective_workers,
+    parallel_assign_borders,
+    parallel_label_cores,
+    parallel_warm_neighbors,
+)
 from repro.runtime.checkpoint import CheckpointStore, fingerprint_points, phase_index
 from repro.runtime.deadline import Deadline
 from repro.runtime.memory import MemoryBudget, estimate_grid_bytes
@@ -32,8 +42,11 @@ from repro.utils.log import get_logger
 
 _log = get_logger("runtime.pipeline")
 
-#: ``connect(grid, core_mask, deadline) -> (core_labels, n_components)``
-ConnectFn = Callable[[Grid, np.ndarray, Optional[Deadline]], Tuple[np.ndarray, int]]
+#: ``connect(grid, core_mask, deadline, parallel) -> (core_labels, n_components)``
+ConnectFn = Callable[
+    [Grid, np.ndarray, Optional[Deadline], Optional[ParallelConfig]],
+    Tuple[np.ndarray, int],
+]
 
 
 def run_grid_pipeline(
@@ -46,13 +59,21 @@ def run_grid_pipeline(
     deadline: Optional[Deadline] = None,
     memory: Optional[MemoryBudget] = None,
     checkpoint: Optional[CheckpointStore] = None,
+    parallel: Optional[ParallelConfig] = None,
 ) -> Clustering:
     """Run the four-phase grid pipeline and assemble the result.
 
     ``meta`` must already contain the algorithm identity and parameters;
-    the pipeline adds ``grid_cells`` and (when a resume happened)
-    ``resumed_from_phase``.
+    the pipeline adds ``grid_cells``, ``workers`` (the *effective* worker
+    count — 1 when the serial fallback applied) and (when a resume
+    happened) ``resumed_from_phase``.
+
+    ``parallel`` fans the cores / components / borders phases out over a
+    worker pool (serial when ``None``); the requested worker count is part
+    of the checkpoint parameters, so a resume never silently mixes shard
+    layouts produced under a different parallel configuration.
     """
+    workers = 1 if parallel is None else int(parallel.workers)
     state: Optional[Dict[str, object]] = None
     fingerprint = ""
     if checkpoint is not None:
@@ -62,6 +83,7 @@ def run_grid_pipeline(
             "eps": float(eps),
             "min_pts": int(min_pts),
             "rho": float(meta["rho"]) if "rho" in meta else None,
+            "workers": workers,
         }
         state = checkpoint.load_matching(fingerprint, ckpt_params)
 
@@ -78,6 +100,10 @@ def run_grid_pipeline(
         memory.charge_estimate(estimate_grid_bytes(len(pts), pts.shape[1]), "grid")
     grid = Grid(pts, eps)
     _log.debug("grid built: %d non-empty cells for %d points", len(grid), len(pts))
+    # On all-pairs grids the adjacency build is the dominant serial cost of
+    # a parallel run — shard it over the pool before the phases start (a
+    # no-op on offset-probe grids and under serial fallback).
+    parallel_warm_neighbors(grid, parallel, deadline=deadline, memory=memory)
     if deadline is not None:
         deadline.check()
     if memory is not None:
@@ -89,7 +115,9 @@ def run_grid_pipeline(
         core_mask = np.asarray(state["core_mask"], dtype=bool)
         _log.debug("labeling restored from checkpoint: %d core points", int(core_mask.sum()))
     else:
-        core_mask = label_cores(grid, min_pts, deadline=deadline)
+        core_mask = parallel_label_cores(
+            grid, min_pts, parallel, deadline=deadline, memory=memory
+        )
         _log.debug("labeling done: %d core points", int(core_mask.sum()))
         persist("cores", core_mask=core_mask)
     if deadline is not None:
@@ -103,7 +131,7 @@ def run_grid_pipeline(
         k = int(state["n_components"])
         _log.debug("graph connectivity restored from checkpoint: %d components", k)
     else:
-        core_labels, k = connect(grid, core_mask, deadline)
+        core_labels, k = connect(grid, core_mask, deadline, parallel)
         _log.debug("graph connectivity done: %d components", k)
         persist("components", core_mask=core_mask, core_labels=core_labels, n_components=k)
     if deadline is not None:
@@ -116,7 +144,9 @@ def run_grid_pipeline(
         borders = dict(state["borders"])
         _log.debug("border assignment restored from checkpoint: %d border points", len(borders))
     else:
-        borders = assign_borders(grid, core_mask, core_labels, deadline=deadline)
+        borders = parallel_assign_borders(
+            grid, core_mask, core_labels, parallel, deadline=deadline, memory=memory
+        )
         _log.debug("border assignment done: %d border points", len(borders))
         persist(
             "borders",
@@ -130,6 +160,9 @@ def run_grid_pipeline(
 
     meta = dict(meta)
     meta["grid_cells"] = len(grid)
+    # Record the *effective* worker count: 1 when the serial fallback
+    # kicked in (small n, or fewer cells than workers), else the pool size.
+    meta["workers"] = effective_workers(parallel, len(pts), len(grid))
     if state is not None:
         meta["resumed_from_phase"] = str(state["phase"])
     return build_clustering(len(pts), core_mask, core_labels, borders, meta=meta)

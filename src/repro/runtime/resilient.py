@@ -92,6 +92,12 @@ class ResiliencePolicy:
     checkpoint:
         Optional checkpoint path handed to the budgeted grid tiers, so an
         interrupted run resumes mid-pipeline.
+    workers:
+        Optional worker-process count (or a
+        :class:`~repro.parallel.ParallelConfig`) handed to the grid tiers
+        (``exact`` and ``approx``); deadlines and memory budgets are
+        polled cooperatively inside the workers, so the cascade degrades
+        just as promptly under a parallel run.
     """
 
     time_budget: Optional[float] = None
@@ -101,6 +107,7 @@ class ResiliencePolicy:
     tiers: Tuple[str, ...] = TIERS
     seed: Optional[int] = 0
     checkpoint: Optional[str] = None
+    workers: Optional[object] = None
 
     def __post_init__(self) -> None:
         if not self.tiers:
@@ -183,6 +190,7 @@ def run_resilient(
                 "rho": params.rho,
                 "sample_size": int(policy.sample_size),
                 "tiers": list(policy.tiers),
+                "workers": repr(policy.workers),
             },
         }
         return result
@@ -205,6 +213,7 @@ def _run_tier(
             deadline=deadline,
             memory=memory,
             checkpoint=policy.checkpoint,
+            workers=policy.workers,
         )
     if tier == "approx":
         return approx_dbscan(
@@ -214,6 +223,7 @@ def _run_tier(
             rho=params.rho,
             deadline=deadline,
             memory=memory,
+            workers=policy.workers,
         )
     return sampled_dbscan(
         pts,

@@ -217,6 +217,25 @@ class TestCheckpointResume:
         res = dbscan(pts_3d, 3.5, 5, checkpoint=ckpt)
         assert "resumed_from_phase" not in res.meta
 
+    def test_checkpoint_bound_to_worker_count(self, pts_3d, tmp_path):
+        # Regression: the fingerprint once ignored the worker count, so a
+        # parallel run could silently resume serial state (and vice versa).
+        from repro.parallel import ParallelConfig
+
+        ckpt = str(tmp_path / "workers.npz")
+        two = ParallelConfig(workers=2, min_points=0)
+        first = dbscan(pts_3d, 3.0, 5, checkpoint=ckpt, workers=two)
+        assert "resumed_from_phase" not in first.meta
+
+        again = dbscan(pts_3d, 3.0, 5, checkpoint=ckpt, workers=two)
+        assert again.meta["resumed_from_phase"] == "borders"
+
+        serial = dbscan(pts_3d, 3.0, 5, checkpoint=ckpt, workers=1)
+        assert "resumed_from_phase" not in serial.meta  # mismatch: no resume
+
+        assert np.array_equal(first.labels, again.labels)
+        assert np.array_equal(first.labels, serial.labels)
+
     @pytest.mark.parametrize("mode", ["truncate", "garbage"])
     def test_corrupt_checkpoint_recovers(self, pts_3d, tmp_path, mode, caplog):
         ckpt = str(tmp_path / f"corrupt_{mode}.npz")
