@@ -9,6 +9,10 @@ asserts the median slowdown stays under 5%.  The memory guard is polled at
 phase boundaries only (a handful of /proc reads per run), so it rides
 along in the budgeted timing.
 
+A second measurement holds the parallel *supervisor* to the same budget:
+on a fault-free run, tracked ``apply_async`` submission plus the hang /
+death sweeps must cost <5% over the bare ``imap_unordered`` fan-out.
+
 Run standalone with ``python -m benchmarks.bench_runtime_overhead`` or via
 pytest like the other benches.
 """
@@ -90,6 +94,46 @@ def measure_overhead(report=print):
     return overhead
 
 
+def measure_supervisor_overhead(report=print, repeats=7):
+    """Fault-free supervision cost versus the bare ``imap_unordered`` pool.
+
+    The supervisor replaces ``imap_unordered`` with tracked ``apply_async``
+    submissions plus a 50 ms sweep loop; on a fault-free run the only extra
+    work is the bookkeeping, which must stay under the same 5% budget.
+    Measured on a parallel-forced small run (pool startup dominates both
+    variants equally and is inside both timings, so it cancels in the
+    ratio).
+    """
+    from repro.parallel import ParallelConfig
+
+    n = 4000
+    d = 3
+    points = seed_spreader(n, d, seed=cfg.SEED + d).points
+    common = dict(workers=2, min_points=0)
+
+    def bare():
+        dbscan(points, cfg.DEFAULT_EPS, cfg.MINPTS, algorithm="grid",
+               workers=ParallelConfig(supervise=False, **common))
+
+    def supervised():
+        dbscan(points, cfg.DEFAULT_EPS, cfg.MINPTS, algorithm="grid",
+               workers=ParallelConfig(supervise=True, **common))
+
+    bare()  # warm caches (and fork state) outside the timed region
+    supervised()
+    pairs = _paired_times(bare, supervised, repeats=repeats)
+    base = statistics.median(a for a, _ in pairs)
+    with_supervisor = statistics.median(b for _, b in pairs)
+    overhead = statistics.median(b / a - 1.0 for a, b in pairs)
+
+    report(f"supervisor overhead — SS{d}D, n={n}, 2 workers, fault-free, "
+           f"median of {repeats} back-to-back pairs")
+    report(f"  bare imap_unordered: {base * 1e3:8.2f} ms")
+    report(f"  supervised         : {with_supervisor * 1e3:8.2f} ms")
+    report(f"  overhead           : {overhead:+.2%} (budget {OVERHEAD_BUDGET:.0%})")
+    return overhead
+
+
 def test_runtime_overhead(report):
     overhead = measure_overhead(report)
     assert overhead < OVERHEAD_BUDGET, (
@@ -98,6 +142,15 @@ def test_runtime_overhead(report):
     )
 
 
+def test_supervisor_overhead(report):
+    overhead = measure_supervisor_overhead(report)
+    assert overhead < OVERHEAD_BUDGET, (
+        f"fault-free supervision costs {overhead:.2%} (> {OVERHEAD_BUDGET:.0%}); "
+        "the submit/sweep loop has regressed"
+    )
+
+
 if __name__ == "__main__":
-    overhead = measure_overhead()
-    raise SystemExit(0 if overhead < OVERHEAD_BUDGET else 1)
+    failed = measure_overhead() >= OVERHEAD_BUDGET
+    failed |= measure_supervisor_overhead() >= OVERHEAD_BUDGET
+    raise SystemExit(1 if failed else 0)

@@ -85,13 +85,20 @@ def dbscan(
         Optional worker-process count (or a
         :class:`~repro.parallel.ParallelConfig`).  Supported by the
         grid-pipeline algorithms (``"grid"`` and ``"gunawan2d"``), whose
-        phases shard across a multiprocessing pool with output identical
-        to the serial run; explicitly requesting more than one worker for
-        any other algorithm raises
+        phases shard across a *supervised* multiprocessing pool with
+        output identical to the serial run; explicitly requesting more
+        than one worker for any other algorithm raises
         :class:`~repro.errors.ParameterError`.  Defaults to the
         ``REPRO_WORKERS`` environment variable (see
         :func:`repro.config.default_workers`); the environment default is
-        silently ignored by algorithms that cannot parallelise.
+        silently ignored by algorithms that cannot parallelise.  The
+        supervisor recovers from crashed workers (pool respawn), hung
+        shards (soft timeouts) and repeatedly failing shards (retry with
+        backoff, then quarantined serial re-execution) — pass a
+        :class:`~repro.parallel.ParallelConfig` to tune
+        ``max_shard_retries``, ``shard_timeout``, ``quarantine`` and
+        ``max_pool_respawns``, or ``supervise=False`` for the bare pool.
+        Recovery actions are recorded in ``result.meta["supervisor"]``.
 
     Returns
     -------

@@ -29,13 +29,53 @@ from repro.api import EXACT_ALGORITHMS, dbscan
 from repro.algorithms.approx import approx_dbscan
 from repro.data import io as data_io
 from repro.data import real_like, seed_spreader as ss_mod, shapes
-from repro.errors import ReproError
+from repro.errors import (
+    ConfigError,
+    DataError,
+    MemoryBudgetExceeded,
+    ReproError,
+    TimeoutExceeded,
+    WorkerPoolError,
+)
 from repro.evaluation import collapsing_radius, confusion_summary, max_legal_rho
 
 _ALL_ALGORITHMS = EXACT_ALGORITHMS + ("approx",)
 
+# Exit-code taxonomy (documented in docs/API.md): scripts driving the CLI
+# can tell a bad flag from bad data from an exhausted budget without
+# parsing stderr.
+EXIT_OK = 0
+EXIT_ERROR = 2  # any other library error (parameters, checkpoints, ...)
+EXIT_CONFIG = 3  # invalid configuration (flags or REPRO_* environment)
+EXIT_DATA = 4  # unreadable or invalid input data
+EXIT_BUDGET = 5  # time or memory budget exhausted
+EXIT_POOL = 6  # worker pool failed beyond the supervisor's recovery budget
+
+
+def _parallel_workers(args):
+    """The ``workers=`` argument for the run: an int/None, or a full config.
+
+    Plain ``--workers N`` passes the integer through (the executor applies
+    env defaults).  Any supervision flag promotes it to a
+    :class:`~repro.parallel.ParallelConfig` carrying the retry policy.
+    """
+    overrides = {}
+    if getattr(args, "max_shard_retries", None) is not None:
+        overrides["max_shard_retries"] = args.max_shard_retries
+    if getattr(args, "shard_timeout", None) is not None:
+        overrides["shard_timeout"] = args.shard_timeout
+    if getattr(args, "no_quarantine", False):
+        overrides["quarantine"] = False
+    if not overrides:
+        return args.workers
+    from repro.parallel import ParallelConfig
+
+    workers = args.workers if args.workers is not None else config.default_workers()
+    return ParallelConfig(workers=workers, **overrides)
+
 
 def _run_algorithm(args, points):
+    workers = _parallel_workers(args)
     if getattr(args, "resilience", False):
         from repro.runtime.resilient import ResiliencePolicy, run_resilient
 
@@ -44,7 +84,7 @@ def _run_algorithm(args, points):
             memory_budget_mb=args.memory_budget_mb,
             rho=args.rho,
             checkpoint=args.checkpoint,
-            workers=args.workers,
+            workers=workers,
         )
         return run_resilient(points, args.eps, args.min_pts, policy)
     if args.algorithm == "approx":
@@ -56,7 +96,7 @@ def _run_algorithm(args, points):
             time_budget=args.time_budget,
             memory_budget_mb=args.memory_budget_mb,
             checkpoint=args.checkpoint,
-            workers=args.workers,
+            workers=workers,
         )
     return dbscan(
         points,
@@ -66,7 +106,7 @@ def _run_algorithm(args, points):
         time_budget=args.time_budget,
         memory_budget_mb=args.memory_budget_mb,
         checkpoint=args.checkpoint,
-        workers=args.workers,
+        workers=workers,
     )
 
 
@@ -90,7 +130,7 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_cluster(args) -> int:
-    points = data_io.load_points(args.input)
+    points = data_io.load_points(args.input, on_bad_rows=args.on_bad_rows)
     result = _run_algorithm(args, points)
     print(result.summary())
     resilience = result.meta.get("resilience")
@@ -215,6 +255,25 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes for the grid-pipeline "
                           "algorithms (grid/gunawan2d/approx); default "
                           "$REPRO_WORKERS or 1")
+    clu.add_argument("--on-bad-rows", dest="on_bad_rows",
+                     choices=data_io.BAD_ROW_MODES, default="raise",
+                     help="policy for invalid input rows (non-numeric, "
+                          "ragged or non-finite): fail fast, drop them, or "
+                          "quarantine them to a sidecar file")
+    clu.add_argument("--max-shard-retries", dest="max_shard_retries",
+                     type=int, default=None,
+                     help="worker-shard retry budget before quarantine "
+                          "(default $REPRO_MAX_SHARD_RETRIES or 2)")
+    clu.add_argument("--shard-timeout", dest="shard_timeout",
+                     type=float, default=None,
+                     help="seconds before an in-flight shard is declared "
+                          "hung and its pool respawned (default: derived "
+                          "from the time budget)")
+    clu.add_argument("--no-quarantine", dest="no_quarantine",
+                     action="store_true",
+                     help="disable serial re-execution of repeatedly "
+                          "failing shards; exhausted retries then fail "
+                          "the run (exit code 6)")
     clu.add_argument("--resilience", action="store_true",
                      help="run the degradation cascade instead of one "
                           "algorithm: exact under budget, else "
@@ -262,13 +321,44 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run one CLI command and translate failures into exit codes.
+
+    Exit codes
+    ----------
+    - ``0`` — success.
+    - ``2`` — any other library error (bad parameters, checkpoint
+      problems, ...); also argparse's own usage-error code.
+    - ``3`` — invalid configuration: a malformed ``REPRO_*`` environment
+      variable or flag value (:class:`~repro.errors.ConfigError`).
+    - ``4`` — unreadable or invalid input data, including rows rejected
+      by ``--on-bad-rows raise`` (:class:`~repro.errors.DataError` /
+      :class:`~repro.errors.InvalidDataError`).
+    - ``5`` — a time or memory budget was exhausted
+      (:class:`~repro.errors.TimeoutExceeded`,
+      :class:`~repro.errors.MemoryBudgetExceeded`).
+    - ``6`` — the parallel worker pool failed beyond the supervisor's
+      retry / respawn budgets with quarantine disabled
+      (:class:`~repro.errors.WorkerPoolError`).
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except ConfigError as exc:
+        print(f"configuration error: {exc}", file=sys.stderr)
+        return EXIT_CONFIG
+    except DataError as exc:
+        print(f"data error: {exc}", file=sys.stderr)
+        return EXIT_DATA
+    except (TimeoutExceeded, MemoryBudgetExceeded) as exc:
+        print(f"budget exhausted: {exc}", file=sys.stderr)
+        return EXIT_BUDGET
+    except WorkerPoolError as exc:
+        print(f"worker pool failed: {exc}", file=sys.stderr)
+        return EXIT_POOL
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

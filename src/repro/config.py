@@ -16,6 +16,9 @@ benchmark cardinalities by ten, and so on.
 from __future__ import annotations
 
 import os
+from typing import Optional
+
+from repro.errors import ConfigError
 
 #: Extent of the normalised data domain used throughout the paper: every
 #: coordinate lies in ``[0, DOMAIN_SIZE]`` (Section 5.1).
@@ -58,19 +61,55 @@ FIG9_EPS_VALUES = (5000.0, 11300.0, 12200.0)
 FIG9_RHO_VALUES = (0.001, 0.01, 0.1)
 
 
-def default_workers() -> int:
-    """Default worker-process count from the ``REPRO_WORKERS`` env variable.
+def _env_int(name: str, default: int, minimum: int) -> int:
+    """Strictly parsed integer environment default.
 
-    ``1`` (the safe serial default) when unset or unparsable; public entry
-    points fall back to this whenever ``workers=None`` is passed, so a
-    deployment can turn the fleet parallel without touching call sites.
+    Unset (or empty) falls back to ``default``; anything set but
+    unparsable or below ``minimum`` raises
+    :class:`~repro.errors.ConfigError` naming the variable, so a broken
+    deployment fails loudly at call time instead of silently running with
+    a surprise fallback.
     """
-    raw = os.environ.get("REPRO_WORKERS", "1")
+    raw = os.environ.get(name)
+    if raw is None or raw.strip() == "":
+        return default
     try:
         value = int(raw)
     except ValueError:
-        return 1
-    return max(1, value)
+        raise ConfigError(
+            f"invalid {name}={raw!r}: expected an integer >= {minimum}"
+        ) from None
+    if value < minimum:
+        raise ConfigError(f"invalid {name}={raw!r}: must be >= {minimum}")
+    return value
+
+
+def _env_float(name: str, default: Optional[float], minimum: float) -> Optional[float]:
+    """Strictly parsed float environment default (``None`` when unset)."""
+    raw = os.environ.get(name)
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigError(
+            f"invalid {name}={raw!r}: expected a number > {minimum:g}"
+        ) from None
+    if not value > minimum or value != value:  # NaN fails both comparisons
+        raise ConfigError(f"invalid {name}={raw!r}: must be > {minimum:g}")
+    return value
+
+
+def default_workers() -> int:
+    """Default worker-process count from the ``REPRO_WORKERS`` env variable.
+
+    ``1`` (the safe serial default) when unset; public entry points fall
+    back to this whenever ``workers=None`` is passed, so a deployment can
+    turn the fleet parallel without touching call sites.  A set-but-invalid
+    value (``"abc"``, ``0``, negative) raises
+    :class:`~repro.errors.ConfigError`.
+    """
+    return _env_int("REPRO_WORKERS", 1, 1)
 
 
 def parallel_min_points() -> int:
@@ -79,14 +118,29 @@ def parallel_min_points() -> int:
     Below this cardinality the parallel layer runs serially — pool startup
     and payload pickling dwarf the work on small inputs.  The environment
     override exists so CI can set it to 0 and force every run through the
-    sharded path.
+    sharded path.  A set-but-invalid value raises
+    :class:`~repro.errors.ConfigError`.
     """
-    raw = os.environ.get("REPRO_PARALLEL_MIN_POINTS", "4096")
-    try:
-        value = int(raw)
-    except ValueError:
-        return 4096
-    return max(0, value)
+    return _env_int("REPRO_PARALLEL_MIN_POINTS", 4096, 0)
+
+
+def max_shard_retries() -> int:
+    """Per-shard retry budget from ``REPRO_MAX_SHARD_RETRIES`` (default 2).
+
+    The supervised executor retries a failed or requeued shard this many
+    times (with exponential backoff + jitter) before quarantining it — see
+    :mod:`repro.parallel.supervisor`.
+    """
+    return _env_int("REPRO_MAX_SHARD_RETRIES", 2, 0)
+
+
+def shard_timeout() -> Optional[float]:
+    """Per-shard soft timeout in seconds from ``REPRO_SHARD_TIMEOUT``.
+
+    ``None`` when unset: the supervisor then derives the hang threshold
+    from the run's deadline (or a conservative built-in default).
+    """
+    return _env_float("REPRO_SHARD_TIMEOUT", None, 0.0)
 
 
 def scale_factor() -> float:

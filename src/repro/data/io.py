@@ -1,13 +1,41 @@
-"""Point-set persistence: a tiny CSV/NPY loader-saver used by the CLI."""
+"""Point-set persistence: CSV/NPY loading with hardened ingestion.
+
+Real datasets arrive dirty — sensor dropouts write ``NaN``, truncated
+downloads leave ragged lines, exports mix header text into data files.
+:func:`load_points` screens every row before the library sees it and
+resolves bad rows according to ``on_bad_rows``:
+
+* ``"raise"`` (default) — fail fast with a structured
+  :class:`~repro.errors.InvalidDataError` naming the offending rows and
+  the reason each was rejected;
+* ``"drop"`` — log a WARNING and cluster the good rows only;
+* ``"quarantine"`` — like ``"drop"``, but additionally write the rejected
+  rows verbatim to a ``<path>.quarantine.csv`` sidecar (one ``# reason``
+  comment per row) so no datum is silently destroyed.
+
+A row is *bad* when it contains a non-numeric field, has a different
+width than the first parseable row, or holds a non-finite coordinate
+(``nan``/``inf``).  A file whose every row is bad always raises,
+regardless of mode — an empty point set is never a sane reading of a
+non-empty file.
+"""
 
 from __future__ import annotations
 
+import math
 import os
+from typing import List, Tuple
 
 import numpy as np
 
-from repro.errors import DataError
+from repro.errors import DataError, InvalidDataError
+from repro.utils.log import get_logger
 from repro.utils.validation import as_points
+
+_log = get_logger("data.io")
+
+#: Valid ``on_bad_rows`` modes, in documentation order.
+BAD_ROW_MODES: Tuple[str, ...] = ("raise", "drop", "quarantine")
 
 
 def save_points(points: np.ndarray, path: str) -> None:
@@ -22,13 +50,120 @@ def save_points(points: np.ndarray, path: str) -> None:
         raise DataError(f"unsupported extension {ext!r}; use .npy, .csv or .txt")
 
 
-def load_points(path: str) -> np.ndarray:
-    """Load a point set saved by :func:`save_points` (or compatible files)."""
+def _parse_csv(path: str) -> Tuple[List[List[float]], List[Tuple[int, str, str]]]:
+    """Parse a delimited text file row by row.
+
+    Returns ``(good_rows, bad_rows)`` where each bad row is
+    ``(1-based line number, raw line, reason)``.  The expected width is
+    fixed by the first parseable row, matching what ``np.loadtxt`` would
+    have inferred on a clean file.
+    """
+    good: List[List[float]] = []
+    bad: List[Tuple[int, str, str]] = []
+    width = None
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = [f.strip() for f in line.split(",")]
+            try:
+                values = [float(f) for f in fields]
+            except ValueError:
+                bad.append((lineno, line, "non-numeric field"))
+                continue
+            if width is not None and len(values) != width:
+                bad.append(
+                    (lineno, line, f"expected {width} columns, got {len(values)}")
+                )
+                continue
+            if not all(math.isfinite(v) for v in values):
+                bad.append((lineno, line, "non-finite coordinate (nan/inf)"))
+                continue
+            if width is None:
+                width = len(values)
+            good.append(values)
+    return good, bad
+
+
+def _screen_array(arr: np.ndarray) -> Tuple[np.ndarray, List[Tuple[int, str, str]]]:
+    """Split an ``.npy`` array into finite rows and bad-row records."""
+    arr = np.asarray(arr, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise DataError(f"points must be a 2-D array of shape (n, d); got ndim={arr.ndim}")
+    finite = np.isfinite(arr).all(axis=1)
+    bad = [
+        (int(i) + 1, ",".join(f"{v!r}" for v in arr[i]), "non-finite coordinate (nan/inf)")
+        for i in np.flatnonzero(~finite)
+    ]
+    return arr[finite], bad
+
+
+def _quarantine_path(path: str) -> str:
+    return path + ".quarantine.csv"
+
+
+def _write_quarantine(path: str, bad: List[Tuple[int, str, str]]) -> str:
+    side = _quarantine_path(path)
+    with open(side, "w", encoding="utf-8") as fh:
+        fh.write("# rows rejected while loading %s\n" % os.path.basename(path))
+        for lineno, line, reason in bad:
+            fh.write(f"# line {lineno}: {reason}\n")
+            fh.write(line + "\n")
+    return side
+
+
+def load_points(path: str, *, on_bad_rows: str = "raise") -> np.ndarray:
+    """Load a point set saved by :func:`save_points` (or compatible files).
+
+    ``on_bad_rows`` selects the policy for rows that fail screening (see
+    the module docstring): ``"raise"`` (default), ``"drop"`` or
+    ``"quarantine"``.  Raises :class:`~repro.errors.InvalidDataError` in
+    ``"raise"`` mode, or whenever *no* valid row survives.
+    """
+    if on_bad_rows not in BAD_ROW_MODES:
+        raise DataError(
+            f"unknown on_bad_rows mode {on_bad_rows!r}; choose from {BAD_ROW_MODES}"
+        )
     if not os.path.exists(path):
         raise DataError(f"no such file: {path}")
     ext = os.path.splitext(path)[1].lower()
     if ext == ".npy":
-        return as_points(np.load(path))
-    if ext in (".csv", ".txt"):
-        return as_points(np.loadtxt(path, delimiter=","))
-    raise DataError(f"unsupported extension {ext!r}; use .npy, .csv or .txt")
+        good_arr, bad = _screen_array(np.load(path))
+    elif ext in (".csv", ".txt"):
+        good, bad = _parse_csv(path)
+        good_arr = np.asarray(good, dtype=np.float64)
+    else:
+        raise DataError(f"unsupported extension {ext!r}; use .npy, .csv or .txt")
+
+    if bad:
+        reasons = [f"line {lineno}: {reason}" for lineno, _, reason in bad]
+        rows = [line for _, line, _ in bad]
+        if on_bad_rows == "raise" or len(good_arr) == 0:
+            raise InvalidDataError(
+                f"{path}: {len(bad)} invalid row(s)"
+                + ("; no valid rows remain" if len(good_arr) == 0 else ""),
+                bad_rows=rows,
+                reasons=reasons,
+            )
+        if on_bad_rows == "quarantine":
+            side = _write_quarantine(path, bad)
+            _log.warning(
+                "%s: quarantined %d invalid row(s) to %s; clustering %d valid row(s)",
+                path,
+                len(bad),
+                side,
+                len(good_arr),
+            )
+        else:
+            _log.warning(
+                "%s: dropped %d invalid row(s) (%s%s); clustering %d valid row(s)",
+                path,
+                len(bad),
+                "; ".join(reasons[:3]),
+                "; ..." if len(reasons) > 3 else "",
+                len(good_arr),
+            )
+    return as_points(good_arr, allow_empty=False)

@@ -16,8 +16,46 @@ class ParameterError(ReproError, ValueError):
     """An algorithm parameter is invalid (e.g. ``eps <= 0`` or ``min_pts < 1``)."""
 
 
+class ConfigError(ReproError, ValueError):
+    """An environment-provided configuration value is invalid.
+
+    Raised at *call time* by the :mod:`repro.config` readers (e.g.
+    ``REPRO_WORKERS=abc`` or a negative ``REPRO_PARALLEL_MIN_POINTS``), so
+    a broken deployment fails with a message naming the variable instead
+    of an unhandled ``ValueError`` deep inside the library.
+    """
+
+
 class DataError(ReproError, ValueError):
     """The input point set is malformed (wrong shape, NaNs, empty, ...)."""
+
+
+class InvalidDataError(DataError):
+    """A loaded dataset contains rows that cannot be clustered.
+
+    Structured variant of :class:`DataError` raised by the hardened
+    loaders in :mod:`repro.data.io`: carries the offending rows verbatim
+    and a human-readable reason per row (with its line number), so callers
+    (and the CLI) can report *which* rows were non-numeric, ragged or
+    non-finite instead of letting NaNs silently poison every distance
+    computation downstream.
+    """
+
+    def __init__(self, message: str, bad_rows=(), reasons=()) -> None:
+        self.bad_rows = tuple(str(r) for r in bad_rows)
+        self.reasons = tuple(str(r) for r in reasons)
+        self._message = str(message)
+        detail = message
+        if self.reasons:
+            shown = "; ".join(self.reasons[:5])
+            more = "" if len(self.reasons) <= 5 else f"; +{len(self.reasons) - 5} more"
+            detail = f"{message} ({shown}{more})"
+        super().__init__(detail)
+
+    def __reduce__(self):
+        # Exception pickling replays ``args`` (the formatted message) into
+        # ``__init__``; rebuild from the structured fields instead.
+        return (InvalidDataError, (self._message, self.bad_rows, self.reasons))
 
 
 class AlgorithmError(ReproError, RuntimeError):
@@ -76,3 +114,25 @@ class CheckpointError(ReproError, RuntimeError):
     The checkpointing pipeline treats this as recoverable: it logs a
     WARNING and recomputes from scratch instead of failing the run.
     """
+
+
+class WorkerPoolError(ReproError, RuntimeError):
+    """The supervised worker pool failed beyond its recovery budgets.
+
+    Raised by :mod:`repro.parallel.supervisor` only after the whole
+    recovery ladder is spent: per-shard retries exhausted, pool respawns
+    exhausted, and quarantine (serial re-execution in the parent)
+    disabled.  Carries the supervisor's bookkeeping so callers — notably
+    :func:`repro.runtime.run_resilient`, which treats this error as
+    degradable — can record what was attempted.
+    """
+
+    def __init__(self, message: str, stats=None) -> None:
+        super().__init__(message)
+        #: Supervisor bookkeeping (a ``SupervisorStats.as_dict()`` mapping),
+        #: or ``None`` when unavailable.
+        self.stats = dict(stats) if stats else None
+
+    def __reduce__(self):
+        # Keep the two-argument constructor picklable (see TimeoutExceeded).
+        return (WorkerPoolError, (self.args[0] if self.args else "", self.stats))

@@ -27,6 +27,12 @@ from repro.parallel.executor import (
     parallel_warm_neighbors,
 )
 from repro.parallel.shard import assign_shards, chunked, shard_cells, split_pairs
+from repro.parallel.supervisor import (
+    SupervisorStats,
+    collect_stats,
+    current_stats,
+    run_supervised,
+)
 
 __all__ = [
     "ParallelConfig",
@@ -42,4 +48,8 @@ __all__ = [
     "split_pairs",
     "chunked",
     "OVERSHARD",
+    "SupervisorStats",
+    "collect_stats",
+    "current_stats",
+    "run_supervised",
 ]

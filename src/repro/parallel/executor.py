@@ -18,8 +18,16 @@ core-cell graph connectivity, border assignment) fan out over a
 Every phase falls back to the serial implementation when the resolved
 worker count is 1, the input is below :attr:`ParallelConfig.min_points`,
 or there are fewer cells than workers.  Workers poll the remaining time
-budget and the memory limit cooperatively (see ``repro.parallel.worker``);
-the parent re-raises the first worker error and terminates the pool.
+budget and the memory limit cooperatively (see ``repro.parallel.worker``).
+
+By default every fan-out runs under the fault-tolerant supervisor
+(:mod:`repro.parallel.supervisor`): dead workers and hung shards are
+detected, the pool is respawned, failed shards are retried with backoff
+and ultimately quarantined to serial parent-side execution — while budget
+errors raised *inside* workers still re-raise promptly.  Set
+``ParallelConfig(supervise=False)`` for the bare ``imap_unordered``
+fan-out, where the parent re-raises the first worker error and any
+worker crash is fatal.
 """
 
 from __future__ import annotations
@@ -43,6 +51,8 @@ from repro.errors import ParameterError
 from repro.grid.cells import Grid
 from repro.parallel import worker
 from repro.parallel.shard import assign_shards, chunked, shard_cells, split_pairs
+from repro.parallel.supervisor import run_supervised
+from repro.runtime import faultinject
 from repro.runtime.deadline import Deadline
 from repro.runtime.memory import MemoryBudget
 from repro.utils.log import get_logger
@@ -74,18 +84,62 @@ class ParallelConfig:
         Explicit multiprocessing start method; ``None`` picks ``fork``
         where available (cheap, copy-on-write payloads) and the platform
         default elsewhere.
+    supervise:
+        Run phases through the fault-tolerant supervisor
+        (:mod:`repro.parallel.supervisor`) — crash/hang detection, pool
+        respawn, shard retry, quarantine.  ``False`` restores the bare
+        ``imap_unordered`` fan-out, where any worker failure is fatal
+        (kept for overhead comparison; see
+        ``benchmarks/bench_runtime_overhead.py``).
+    max_shard_retries:
+        How many times a failed (or crash-lost) shard is resubmitted to
+        the pool before quarantine.  Defaults to ``REPRO_MAX_SHARD_RETRIES``
+        (see :func:`repro.config.max_shard_retries`).
+    shard_timeout:
+        Per-shard soft timeout in seconds; a shard in flight longer than
+        this is declared hung, the pool is respawned, and the lost shards
+        retried.  ``None`` (the ``REPRO_SHARD_TIMEOUT`` default) derives
+        the threshold from the run's deadline, falling back to a generous
+        built-in liveness bound.
+    quarantine:
+        Whether a shard that exhausts its retries (or outlives the pool's
+        respawn budget) is re-executed serially in the parent.  With
+        ``False`` the supervisor raises
+        :class:`~repro.errors.WorkerPoolError` instead — which
+        :func:`repro.runtime.run_resilient` treats as degradable.
+    max_pool_respawns:
+        How many times a broken pool (dead worker / hung shard) is
+        rebuilt before the supervisor abandons it and serially requeues
+        the remaining shards in the parent.
     """
 
     workers: int = 1
     min_points: int = field(default_factory=config.parallel_min_points)
     chunk_pairs: int = 256
     start_method: Optional[str] = None
+    supervise: bool = True
+    max_shard_retries: int = field(default_factory=config.max_shard_retries)
+    shard_timeout: Optional[float] = field(default_factory=config.shard_timeout)
+    quarantine: bool = True
+    max_pool_respawns: int = 2
 
     def __post_init__(self) -> None:
         if int(self.workers) < 1:
             raise ParameterError(f"workers must be >= 1; got {self.workers}")
         if int(self.chunk_pairs) < 1:
             raise ParameterError(f"chunk_pairs must be >= 1; got {self.chunk_pairs}")
+        if int(self.max_shard_retries) < 0:
+            raise ParameterError(
+                f"max_shard_retries must be >= 0; got {self.max_shard_retries}"
+            )
+        if self.shard_timeout is not None and not float(self.shard_timeout) > 0:
+            raise ParameterError(
+                f"shard_timeout must be positive (or None); got {self.shard_timeout}"
+            )
+        if int(self.max_pool_respawns) < 0:
+            raise ParameterError(
+                f"max_pool_respawns must be >= 0; got {self.max_pool_respawns}"
+            )
 
 
 WorkersLike = Union[None, int, ParallelConfig]
@@ -139,7 +193,54 @@ def _base_payload(
         "phase": phase,
         "time_remaining": time_remaining,
         "memory_limit_mb": memory_limit_mb,
+        # Snapshot of any active worker-fault injection (tests only; None
+        # in production).  Shipped in the payload so the spec reaches
+        # workers under both fork and spawn.
+        "fault_spec": faultinject.worker_fault_spec(),
     }
+
+
+def _fan_out(
+    cfg: ParallelConfig,
+    n_workers: int,
+    payload: Dict[str, object],
+    kind: str,
+    items,
+    consume,
+    *,
+    deadline: Optional[Deadline],
+    memory: Optional[MemoryBudget],
+) -> None:
+    """Distribute one phase's tasks over the pool and merge the results.
+
+    ``consume`` must be order-independent and idempotent (all four phase
+    merges are: index writes, dict updates, union-find unions), which is
+    what lets the supervisor keep completed work across pool respawns and
+    tolerate a duplicate result from a torn-down pool.
+    """
+    phase = str(payload.get("phase", kind))
+    if cfg.supervise:
+        run_supervised(
+            pool_factory=lambda: _pool(cfg, n_workers, payload),
+            task=worker.supervised_task,
+            kind=kind,
+            phase=phase,
+            items=items,
+            consume=consume,
+            cfg=cfg,
+            deadline=deadline,
+            memory=memory,
+            local_runner=worker.make_local_runner(payload),
+        )
+        return
+    # Unsupervised fan-out: the PR-2 fast path, kept for overhead
+    # comparison.  Any worker failure here is fatal to the run.
+    with _pool(cfg, n_workers, payload) as pool:
+        for result in pool.imap_unordered(worker._TASKS[kind], items):
+            consume(result)
+            _check_guards(deadline, memory, phase)
+        pool.close()
+        pool.join()
 
 
 def parallel_warm_neighbors(
@@ -175,12 +276,11 @@ def parallel_warm_neighbors(
     payload = _base_payload(grid, "grid", deadline, memory)
     adjacency = {}
     _log.debug("adjacency warm-up: %d blocks over %d workers", len(blocks), n_workers)
-    with _pool(cfg, n_workers, payload) as pool:
-        for rows in pool.imap_unordered(worker.adjacency_task, blocks):
-            adjacency.update(rows)
-            _check_guards(deadline, memory, "grid")
-        pool.close()
-        pool.join()
+    _fan_out(
+        cfg, n_workers, payload, "adjacency", blocks,
+        lambda rows: adjacency.update(rows),
+        deadline=deadline, memory=memory,
+    )
     grid.install_adjacency(adjacency)
 
 
@@ -221,12 +321,15 @@ def parallel_label_cores(
     payload["min_pts"] = int(min_pts)
     core = np.zeros(len(grid.points), dtype=bool)
     _log.debug("cores phase: %d shards over %d workers", len(shards), n_workers)
-    with _pool(cfg, n_workers, payload) as pool:
-        for idx, flags in pool.imap_unordered(worker.cores_task, shards):
-            core[idx] = flags
-            _check_guards(deadline, memory, "cores")
-        pool.close()
-        pool.join()
+
+    def merge_cores(result) -> None:
+        idx, flags = result
+        core[idx] = flags
+
+    _fan_out(
+        cfg, n_workers, payload, "cores", shards, merge_cores,
+        deadline=deadline, memory=memory,
+    )
     return core
 
 
@@ -325,14 +428,16 @@ def _parallel_components(
     # the same order the serial path uses, so component labels (assigned
     # by first appearance) come out identical.
     uf = KeyedUnionFind(cells.keys())
+
+    def merge_edges(united) -> None:
+        for c1, c2 in united:
+            uf.union(c1, c2)
+
     if tasks:
-        with _pool(cfg, n_workers, payload) as pool:
-            for united in pool.imap_unordered(worker.edges_task, tasks):
-                for c1, c2 in united:
-                    uf.union(c1, c2)
-                _check_guards(deadline, memory, "components")
-            pool.close()
-            pool.join()
+        _fan_out(
+            cfg, n_workers, payload, "edges", tasks, merge_edges,
+            deadline=deadline, memory=memory,
+        )
     return _labels_from_components(grid, cells, uf)
 
 
@@ -358,10 +463,9 @@ def parallel_assign_borders(
     payload["core_labels"] = core_labels
     out: Dict[int, Tuple[int, ...]] = {}
     _log.debug("borders phase: %d shards over %d workers", len(shards), n_workers)
-    with _pool(cfg, n_workers, payload) as pool:
-        for items in pool.imap_unordered(worker.borders_task, shards):
-            out.update(items)
-            _check_guards(deadline, memory, "borders")
-        pool.close()
-        pool.join()
+    _fan_out(
+        cfg, n_workers, payload, "borders", shards,
+        lambda items: out.update(items),
+        deadline=deadline, memory=memory,
+    )
     return out

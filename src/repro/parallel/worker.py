@@ -43,9 +43,15 @@ Pair = Tuple[CellCoord, CellCoord]
 _CTX: Optional[Dict[str, object]] = None
 
 
-def init_worker(payload: Dict[str, object]) -> None:
-    """Pool initializer: adopt the parent's grid, build per-process guards."""
-    global _CTX
+def build_context(payload: Dict[str, object], *, in_worker: bool = True) -> Dict[str, object]:
+    """Build a task context from a phase payload.
+
+    ``in_worker`` distinguishes a pool worker from the parent process
+    re-executing a quarantined shard: injected worker faults (see
+    :mod:`repro.runtime.faultinject`) only fire when it is true, because a
+    poison shard is by definition one that crashes *workers* but computes
+    fine serially.
+    """
     grid: Grid = payload["grid"]
     time_remaining = payload.get("time_remaining")
     memory_limit_mb = payload.get("memory_limit_mb")
@@ -56,6 +62,8 @@ def init_worker(payload: Dict[str, object]) -> None:
         "min_pts": payload.get("min_pts"),
         "phase": payload.get("phase", ""),
         "edge": None,
+        "fault_spec": payload.get("fault_spec"),
+        "in_worker": bool(in_worker),
     }
     core_mask = payload.get("core_mask")
     if core_mask is not None:
@@ -71,7 +79,13 @@ def init_worker(payload: Dict[str, object]) -> None:
         ctx["edge"] = approx_edge_predicate(
             grid, ctx["cells"], payload["rho"], payload.get("exact_leaf_size")
         )
-    _CTX = ctx
+    return ctx
+
+
+def init_worker(payload: Dict[str, object]) -> None:
+    """Pool initializer: adopt the parent's grid, build per-process guards."""
+    global _CTX
+    _CTX = build_context(payload, in_worker=True)
 
 
 def _ctx() -> Dict[str, object]:
@@ -154,3 +168,55 @@ def borders_task(cell_block: Sequence[CellCoord]) -> List[Tuple[int, Tuple[int, 
     if memory is not None:
         memory.check(phase)
     return list(out.items())
+
+
+#: Task-kind dispatch used by the supervised executor.
+_TASKS = {
+    "adjacency": adjacency_task,
+    "cores": cores_task,
+    "edges": edges_task,
+    "borders": borders_task,
+}
+
+
+def supervised_task(kind: str, seq: int, item):
+    """Run one tracked shard: fault check, then dispatch on ``kind``.
+
+    The supervisor submits every shard through this wrapper so each task
+    carries a stable ``(phase, seq)`` identity — the address injected
+    worker faults (kill / hang / poison) are keyed on, and the unit the
+    parent's retry and quarantine bookkeeping tracks.
+    """
+    ctx = _ctx()
+    spec = ctx.get("fault_spec")
+    if spec is not None and ctx.get("in_worker", True):
+        from repro.runtime import faultinject
+
+        faultinject.trigger_worker_fault(spec, str(ctx["phase"]), int(seq))
+    return _TASKS[kind](item)
+
+
+def make_local_runner(payload: Dict[str, object]):
+    """A parent-process shard executor for quarantine / serial requeue.
+
+    Builds the task context lazily (edge predicates are not free) and only
+    once per phase, then runs the *same* task functions the workers run —
+    a single source of truth, so a quarantined shard's result is
+    indistinguishable from a pooled one.  The module-global worker context
+    is swapped in around each call and restored after, so parent-side
+    execution cannot leak state into a later ``init_worker``.
+    """
+    state: Dict[str, object] = {}
+
+    def run(kind: str, item):
+        global _CTX
+        if "ctx" not in state:
+            state["ctx"] = build_context(payload, in_worker=False)
+        prev = _CTX
+        _CTX = state["ctx"]
+        try:
+            return _TASKS[kind](item)
+        finally:
+            _CTX = prev
+
+    return run

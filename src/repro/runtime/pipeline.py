@@ -14,10 +14,13 @@ control flow once, and is where the robustness guarantees attach:
   from the latest phase whose output is on disk (corrupt or mismatched
   checkpoints degrade to a fresh start with a WARNING);
 * when a :class:`~repro.parallel.ParallelConfig` is attached, the cores /
-  components / borders phases fan out over a worker pool
-  (:mod:`repro.parallel`), checkpoints stay phase-granular, and the
-  worker count joins the checkpoint parameters so resumes never mix
-  shard layouts.
+  components / borders phases fan out over a *supervised* worker pool
+  (:mod:`repro.parallel`) that recovers from worker crashes and hangs
+  (shard retry, quarantine, pool respawn — see
+  :mod:`repro.parallel.supervisor`), checkpoints stay phase-granular, and
+  the worker count joins the checkpoint parameters so resumes never mix
+  shard layouts.  Supervisor recovery actions for the whole run are
+  recorded under ``meta["supervisor"]``.
 """
 
 from __future__ import annotations
@@ -35,6 +38,7 @@ from repro.parallel.executor import (
     parallel_label_cores,
     parallel_warm_neighbors,
 )
+from repro.parallel.supervisor import collect_stats
 from repro.runtime.checkpoint import CheckpointStore, fingerprint_points, phase_index
 from repro.runtime.deadline import Deadline
 from repro.runtime.memory import MemoryBudget, estimate_grid_bytes
@@ -94,72 +98,80 @@ def run_grid_pipeline(
         if checkpoint is not None and not reached(phase):
             checkpoint.save(phase, fingerprint, ckpt_params, **kwargs)
 
-    # Phase 1: impose the grid T (deterministic; always rebuilt — it is the
-    # one phase cheaper to recompute than to serialise).
-    if memory is not None:
-        memory.charge_estimate(estimate_grid_bytes(len(pts), pts.shape[1]), "grid")
-    grid = Grid(pts, eps)
-    _log.debug("grid built: %d non-empty cells for %d points", len(grid), len(pts))
-    # On all-pairs grids the adjacency build is the dominant serial cost of
-    # a parallel run — shard it over the pool before the phases start (a
-    # no-op on offset-probe grids and under serial fallback).
-    parallel_warm_neighbors(grid, parallel, deadline=deadline, memory=memory)
-    if deadline is not None:
-        deadline.check()
-    if memory is not None:
-        memory.check("grid")
-    persist("grid")
+    # All four phases run under one ambient supervisor-stats ledger: the
+    # parallel executor's retries / quarantines / respawns accumulate here
+    # without widening the ConnectFn signature (see repro.parallel.supervisor).
+    with collect_stats() as sup_stats:
+        # Phase 1: impose the grid T (deterministic; always rebuilt — it is
+        # the one phase cheaper to recompute than to serialise).
+        if memory is not None:
+            memory.charge_estimate(estimate_grid_bytes(len(pts), pts.shape[1]), "grid")
+        grid = Grid(pts, eps)
+        _log.debug("grid built: %d non-empty cells for %d points", len(grid), len(pts))
+        # On all-pairs grids the adjacency build is the dominant serial cost
+        # of a parallel run — shard it over the pool before the phases start
+        # (a no-op on offset-probe grids and under serial fallback).
+        parallel_warm_neighbors(grid, parallel, deadline=deadline, memory=memory)
+        if deadline is not None:
+            deadline.check()
+        if memory is not None:
+            memory.check("grid")
+        persist("grid")
 
-    # Phase 2: the labeling process -> core mask.
-    if reached("cores"):
-        core_mask = np.asarray(state["core_mask"], dtype=bool)
-        _log.debug("labeling restored from checkpoint: %d core points", int(core_mask.sum()))
-    else:
-        core_mask = parallel_label_cores(
-            grid, min_pts, parallel, deadline=deadline, memory=memory
-        )
-        _log.debug("labeling done: %d core points", int(core_mask.sum()))
-        persist("cores", core_mask=core_mask)
-    if deadline is not None:
-        deadline.check()
-    if memory is not None:
-        memory.check("cores")
+        # Phase 2: the labeling process -> core mask.
+        if reached("cores"):
+            core_mask = np.asarray(state["core_mask"], dtype=bool)
+            _log.debug("labeling restored from checkpoint: %d core points", int(core_mask.sum()))
+        else:
+            core_mask = parallel_label_cores(
+                grid, min_pts, parallel, deadline=deadline, memory=memory
+            )
+            _log.debug("labeling done: %d core points", int(core_mask.sum()))
+            persist("cores", core_mask=core_mask)
+        if deadline is not None:
+            deadline.check()
+        if memory is not None:
+            memory.check("cores")
 
-    # Phase 3: connect the core-cell graph (Lemma 1 components).
-    if reached("components"):
-        core_labels = np.asarray(state["core_labels"], dtype=np.int64)
-        k = int(state["n_components"])
-        _log.debug("graph connectivity restored from checkpoint: %d components", k)
-    else:
-        core_labels, k = connect(grid, core_mask, deadline, parallel)
-        _log.debug("graph connectivity done: %d components", k)
-        persist("components", core_mask=core_mask, core_labels=core_labels, n_components=k)
-    if deadline is not None:
-        deadline.check()
-    if memory is not None:
-        memory.check("components")
+        # Phase 3: connect the core-cell graph (Lemma 1 components).
+        if reached("components"):
+            core_labels = np.asarray(state["core_labels"], dtype=np.int64)
+            k = int(state["n_components"])
+            _log.debug("graph connectivity restored from checkpoint: %d components", k)
+        else:
+            core_labels, k = connect(grid, core_mask, deadline, parallel)
+            _log.debug("graph connectivity done: %d components", k)
+            persist("components", core_mask=core_mask, core_labels=core_labels, n_components=k)
+        if deadline is not None:
+            deadline.check()
+        if memory is not None:
+            memory.check("components")
 
-    # Phase 4: assign border points.
-    if reached("borders"):
-        borders = dict(state["borders"])
-        _log.debug("border assignment restored from checkpoint: %d border points", len(borders))
-    else:
-        borders = parallel_assign_borders(
-            grid, core_mask, core_labels, parallel, deadline=deadline, memory=memory
-        )
-        _log.debug("border assignment done: %d border points", len(borders))
-        persist(
-            "borders",
-            core_mask=core_mask,
-            core_labels=core_labels,
-            n_components=k,
-            borders=borders,
-        )
-    if memory is not None:
-        memory.check("borders")
+        # Phase 4: assign border points.
+        if reached("borders"):
+            borders = dict(state["borders"])
+            _log.debug(
+                "border assignment restored from checkpoint: %d border points", len(borders)
+            )
+        else:
+            borders = parallel_assign_borders(
+                grid, core_mask, core_labels, parallel, deadline=deadline, memory=memory
+            )
+            _log.debug("border assignment done: %d border points", len(borders))
+            persist(
+                "borders",
+                core_mask=core_mask,
+                core_labels=core_labels,
+                n_components=k,
+                borders=borders,
+            )
+        if memory is not None:
+            memory.check("borders")
 
     meta = dict(meta)
     meta["grid_cells"] = len(grid)
+    if parallel is not None and parallel.supervise:
+        meta["supervisor"] = sup_stats.as_dict()
     # Record the *effective* worker count: 1 when the serial fallback
     # kicked in (small n, or fewer cells than workers), else the pool size.
     meta["workers"] = effective_workers(parallel, len(pts), len(grid))

@@ -36,7 +36,12 @@ from repro.algorithms.exact_grid import exact_grid_dbscan
 from repro.core.border import assign_borders
 from repro.core.params import ApproxParams
 from repro.core.result import Clustering, build_clustering, empty_clustering
-from repro.errors import MemoryBudgetExceeded, ParameterError, TimeoutExceeded
+from repro.errors import (
+    MemoryBudgetExceeded,
+    ParameterError,
+    TimeoutExceeded,
+    WorkerPoolError,
+)
 from repro.grid.cells import Grid
 from repro.runtime.deadline import Deadline
 from repro.runtime.memory import MemoryBudget
@@ -128,9 +133,11 @@ def run_resilient(
     """Cluster under budgets, degrading instead of dying.
 
     Walks ``policy.tiers`` in order; a tier that raises
-    :class:`~repro.errors.TimeoutExceeded` or
-    :class:`~repro.errors.MemoryBudgetExceeded` is logged as a WARNING and
-    the next tier is tried with fresh budgets.  The final tier runs
+    :class:`~repro.errors.TimeoutExceeded`,
+    :class:`~repro.errors.MemoryBudgetExceeded` or
+    :class:`~repro.errors.WorkerPoolError` (a parallel tier whose worker
+    pool failed beyond the supervisor's retry / respawn budgets) is logged
+    as a WARNING and the next tier is tried with fresh budgets.  The final tier runs
     unbudgeted, so with the default cascade this function always returns a
     labelled :class:`~repro.core.result.Clustering`.  The returned
     ``meta["resilience"]`` names the tier taken, the failed attempts, and
@@ -153,7 +160,7 @@ def run_resilient(
         }
         return result
 
-    attempts: List[Dict[str, str]] = []
+    attempts: List[Dict[str, object]] = []
     for position, tier in enumerate(policy.tiers):
         final_tier = position == len(policy.tiers) - 1
         # The last tier is the safety net: it runs unbudgeted, because a
@@ -162,7 +169,7 @@ def run_resilient(
         memory = None if final_tier else MemoryBudget(policy.memory_budget_mb)
         try:
             result = _run_tier(tier, pts, params, policy, deadline, memory)
-        except (TimeoutExceeded, MemoryBudgetExceeded) as exc:
+        except (TimeoutExceeded, MemoryBudgetExceeded, WorkerPoolError) as exc:
             _log.warning(
                 "resilient run: tier %r failed (%s: %s); degrading to %s",
                 tier,
@@ -170,7 +177,14 @@ def run_resilient(
                 exc,
                 policy.tiers[position + 1] if not final_tier else "nothing",
             )
-            attempts.append({"tier": tier, "error": type(exc).__name__, "detail": str(exc)})
+            attempt: Dict[str, object] = {
+                "tier": tier,
+                "error": type(exc).__name__,
+                "detail": str(exc),
+            }
+            if isinstance(exc, WorkerPoolError) and exc.stats is not None:
+                attempt["supervisor"] = exc.stats
+            attempts.append(attempt)
             if final_tier:
                 raise
             continue
@@ -193,6 +207,12 @@ def run_resilient(
                 "workers": repr(policy.workers),
             },
         }
+        # Surface the winning tier's supervisor ledger (retries, quarantined
+        # shards, pool respawns) next to the attempt history, so one dict
+        # tells the whole recovery story of the run.
+        supervisor = result.meta.get("supervisor")
+        if supervisor is not None:
+            result.meta["resilience"]["supervisor"] = supervisor
         return result
     raise AssertionError("unreachable: the final tier either returned or re-raised")
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cli import main
+from repro.cli import EXIT_BUDGET, EXIT_CONFIG, EXIT_DATA, EXIT_POOL, main
 from repro.data import io as data_io
 
 
@@ -64,8 +64,69 @@ class TestCluster:
 
     def test_missing_file_error(self, capsys):
         code = main(["cluster", "/nope.npy", "--eps", "1"])
-        assert code == 2
+        assert code == EXIT_DATA
         assert "error" in capsys.readouterr().err
+
+
+class TestExitCodes:
+    """Each failure class maps to its own documented exit code."""
+
+    def test_config_error_is_3(self, dataset, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_WORKERS", "not-a-number")
+        code = main(["cluster", dataset, "--eps", "2000", "--min-pts", "5"])
+        assert code == EXIT_CONFIG == 3
+        assert "REPRO_WORKERS" in capsys.readouterr().err
+
+    def test_data_error_is_4(self, tmp_path, capsys):
+        path = str(tmp_path / "dirty.csv")
+        with open(path, "w") as fh:
+            fh.write("1.0,2.0\n3.0,nan\n4.0,5.0\n")
+        code = main(["cluster", path, "--eps", "1", "--min-pts", "2"])
+        assert code == EXIT_DATA == 4
+        assert "non-finite" in capsys.readouterr().err
+
+    def test_bad_rows_drop_recovers(self, tmp_path):
+        path = str(tmp_path / "dirty.csv")
+        rng = np.random.default_rng(0)
+        pts = rng.normal(10_000, 300, size=(40, 2))
+        data_io.save_points(pts, path)
+        with open(path, "a") as fh:
+            fh.write("3.0,nan\n")
+        code = main([
+            "cluster", path, "--on-bad-rows", "drop",
+            "--eps", "2000", "--min-pts", "5",
+        ])
+        assert code == 0
+
+    def test_budget_error_is_5(self, dataset, capsys):
+        code = main([
+            "cluster", dataset, "--eps", "2000", "--min-pts", "5",
+            "--time-budget", "0.000001",
+        ])
+        assert code == EXIT_BUDGET == 5
+        assert "budget" in capsys.readouterr().err
+
+    def test_worker_pool_error_is_6(self, dataset, monkeypatch, capsys):
+        from repro.runtime.faultinject import inject_faults
+
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_POINTS", "0")
+        with inject_faults(poison_shards=[("cores", 0)]):
+            code = main([
+                "cluster", dataset, "--eps", "2000", "--min-pts", "5",
+                "--algorithm", "grid", "--workers", "2",
+                "--max-shard-retries", "0", "--no-quarantine",
+            ])
+        assert code == EXIT_POOL == 6
+        assert "worker pool" in capsys.readouterr().err
+
+    def test_supervisor_flags_accept_clean_run(self, dataset, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_POINTS", "0")
+        code = main([
+            "cluster", dataset, "--eps", "2000", "--min-pts", "5",
+            "--algorithm", "grid", "--workers", "2",
+            "--max-shard-retries", "1", "--shard-timeout", "60",
+        ])
+        assert code == 0
 
 
 class TestCompare:

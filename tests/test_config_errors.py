@@ -8,10 +8,12 @@ from repro.cli import main
 from repro.data import io as data_io
 from repro.errors import (
     AlgorithmError,
+    ConfigError,
     DataError,
     ParameterError,
     ReproError,
     TimeoutExceeded,
+    WorkerPoolError,
 )
 
 
@@ -70,6 +72,74 @@ class TestConfig:
         monkeypatch.delenv("REPRO_SCALE", raising=False)
         assert config.scaled(2_000_000) == 20_000
         assert config.scaled(1) == 100  # floor
+
+
+class TestStrictEnvParsing:
+    """Invalid REPRO_* values fail loudly with ConfigError at call time."""
+
+    def test_workers_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert config.default_workers() == 1
+
+    def test_workers_valid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert config.default_workers() == 4
+
+    @pytest.mark.parametrize("value", ["abc", "2.5", "0", "-2", " "])
+    def test_workers_invalid(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_WORKERS", value)
+        if not value.strip():
+            assert config.default_workers() == 1  # empty counts as unset
+        else:
+            with pytest.raises(ConfigError, match="REPRO_WORKERS"):
+                config.default_workers()
+
+    def test_min_points_zero_is_legal(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_POINTS", "0")
+        assert config.parallel_min_points() == 0
+
+    @pytest.mark.parametrize("value", ["abc", "-1"])
+    def test_min_points_invalid(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_POINTS", value)
+        with pytest.raises(ConfigError, match="REPRO_PARALLEL_MIN_POINTS"):
+            config.parallel_min_points()
+
+    @pytest.mark.parametrize("value", ["abc", "-1"])
+    def test_shard_retries_invalid(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_MAX_SHARD_RETRIES", value)
+        with pytest.raises(ConfigError, match="REPRO_MAX_SHARD_RETRIES"):
+            config.max_shard_retries()
+
+    def test_shard_retries_default_and_valid(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MAX_SHARD_RETRIES", raising=False)
+        assert config.max_shard_retries() == 2
+        monkeypatch.setenv("REPRO_MAX_SHARD_RETRIES", "0")
+        assert config.max_shard_retries() == 0
+
+    @pytest.mark.parametrize("value", ["abc", "0", "-1.5"])
+    def test_shard_timeout_invalid(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SHARD_TIMEOUT", value)
+        with pytest.raises(ConfigError, match="REPRO_SHARD_TIMEOUT"):
+            config.shard_timeout()
+
+    def test_shard_timeout_default_and_valid(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARD_TIMEOUT", raising=False)
+        assert config.shard_timeout() is None
+        monkeypatch.setenv("REPRO_SHARD_TIMEOUT", "1.5")
+        assert config.shard_timeout() == 1.5
+
+    def test_config_error_is_repro_and_value_error(self):
+        assert issubclass(ConfigError, ReproError)
+        assert issubclass(ConfigError, ValueError)
+
+    def test_worker_pool_error_carries_stats(self):
+        import pickle
+
+        exc = WorkerPoolError("pool broke", {"respawns": 3})
+        assert exc.stats == {"respawns": 3}
+        rt = pickle.loads(pickle.dumps(exc))
+        assert rt.stats == {"respawns": 3}
+        assert str(rt) == "pool broke"
 
 
 @pytest.fixture()

@@ -6,7 +6,7 @@ import pytest
 from repro import config
 from repro.data import io as data_io
 from repro.data import real_like, shapes, vz
-from repro.errors import DataError, ParameterError
+from repro.errors import DataError, InvalidDataError, ParameterError
 
 
 class TestSyntheticImage:
@@ -196,3 +196,88 @@ class TestIO:
         path = str(tmp_path / "one.csv")
         data_io.save_points(np.array([[1.0], [2.0]]), path)
         assert data_io.load_points(path).shape == (2, 1)
+
+
+class TestHardenedIngestion:
+    """load_points screens bad rows per the on_bad_rows policy."""
+
+    @staticmethod
+    def _dirty_csv(tmp_path):
+        path = str(tmp_path / "dirty.csv")
+        with open(path, "w") as fh:
+            fh.write("1.0,2.0\n")
+            fh.write("3.0,nan\n")        # non-finite
+            fh.write("4.0,5.0\n")
+            fh.write("hello,6.0\n")      # non-numeric
+            fh.write("7.0\n")            # ragged (1 column, expected 2)
+            fh.write("8.0,9.0\n")
+        return path
+
+    def test_raise_is_default_and_structured(self, tmp_path):
+        path = self._dirty_csv(tmp_path)
+        with pytest.raises(InvalidDataError) as ei:
+            data_io.load_points(path)
+        exc = ei.value
+        assert len(exc.bad_rows) == 3
+        assert any("non-finite" in r for r in exc.reasons)
+        assert any("non-numeric" in r for r in exc.reasons)
+        assert any("expected 2 columns" in r for r in exc.reasons)
+        # Line numbers point into the original file.
+        assert any(r.startswith("line 2:") for r in exc.reasons)
+        # An InvalidDataError is still a DataError for coarse handlers.
+        assert isinstance(exc, DataError)
+
+    def test_drop_returns_good_rows(self, tmp_path):
+        path = self._dirty_csv(tmp_path)
+        pts = data_io.load_points(path, on_bad_rows="drop")
+        assert pts.shape == (3, 2)
+        assert np.allclose(pts, [[1.0, 2.0], [4.0, 5.0], [8.0, 9.0]])
+
+    def test_quarantine_writes_sidecar(self, tmp_path):
+        path = self._dirty_csv(tmp_path)
+        pts = data_io.load_points(path, on_bad_rows="quarantine")
+        assert pts.shape == (3, 2)
+        sidecar = path + ".quarantine.csv"
+        content = open(sidecar).read()
+        assert "3.0,nan" in content
+        assert "hello,6.0" in content
+        assert "non-finite" in content
+
+    def test_npy_nonfinite_row(self, tmp_path):
+        path = str(tmp_path / "dirty.npy")
+        np.save(path, np.array([[1.0, 2.0], [np.inf, 3.0], [4.0, 5.0]]))
+        with pytest.raises(InvalidDataError):
+            data_io.load_points(path)
+        pts = data_io.load_points(path, on_bad_rows="drop")
+        assert pts.shape == (2, 2)
+
+    def test_all_rows_bad_always_raises(self, tmp_path):
+        path = str(tmp_path / "allbad.csv")
+        with open(path, "w") as fh:
+            fh.write("nan,nan\ninf,1.0\n")
+        for mode in ("raise", "drop", "quarantine"):
+            with pytest.raises(InvalidDataError):
+                data_io.load_points(path, on_bad_rows=mode)
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        path = str(tmp_path / "ok.csv")
+        data_io.save_points(np.zeros((3, 2)), path)
+        with pytest.raises(DataError):
+            data_io.load_points(path, on_bad_rows="ignore")
+
+    def test_clean_file_untouched_by_modes(self, tmp_path):
+        path = str(tmp_path / "clean.csv")
+        pts = np.arange(8.0).reshape(4, 2)
+        data_io.save_points(pts, path)
+        for mode in ("raise", "drop", "quarantine"):
+            assert np.allclose(data_io.load_points(path, on_bad_rows=mode), pts)
+        assert not (tmp_path / "clean.csv.quarantine.csv").exists()
+
+    def test_invalid_data_error_pickles(self):
+        import pickle
+
+        exc = InvalidDataError("f.csv: 1 bad", bad_rows=["a,b"], reasons=["line 1: x"])
+        rt = pickle.loads(pickle.dumps(exc))
+        assert rt.bad_rows == exc.bad_rows
+        assert rt.reasons == exc.reasons
+        assert str(rt) == str(exc)
