@@ -1,0 +1,161 @@
+"""Engine benchmark: incremental multi-eps sweeps vs independent runs.
+
+Measures the three claims of :mod:`repro.engine` on a seed-spreader
+workload (Section 5.1 generator):
+
+* an incremental :meth:`~repro.engine.ClusteringEngine.sweep` over an
+  ascending eps grid must beat one fresh :func:`repro.dbscan` per eps —
+  the monotone carries (``known_core`` lower bounds, pre-union seeds that
+  short-circuit BCP tests) skip work the independent runs repeat;
+* a warm-cache single run (grid + core mask served from the
+  :class:`~repro.engine.StructureCache`) must beat the cold run;
+* every engine answer must be **byte-identical** to the one-shot call —
+  a speedup that changes the labeling is worthless, so identity is
+  asserted in-bench on every comparison.
+
+Run standalone::
+
+    python -m benchmarks.bench_engine_sweep              # full config
+    python -m benchmarks.bench_engine_sweep --smoke      # CI-sized
+    python -m benchmarks.bench_engine_sweep --json BENCH_engine.json
+
+or via pytest like the other benches (the pytest path uses the smoke
+config so the suite stays fast; the >= 2x sweep target is asserted only
+on the full config, where the per-run work is large enough to amortise).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro import ClusteringEngine, StructureCache, dbscan
+from repro.data import seed_spreader
+
+from . import config as cfg
+
+#: Required speedup of the incremental sweep over independent runs (full
+#: config only; smoke workloads are too small for the target to be honest).
+TARGET_SWEEP_SPEEDUP = 2.0
+
+#: (name, n, d, eps grid, MinPts).  The eps grid is ascending and
+#: closely spaced (~9% steps), the shape of a parameter-tuning sweep:
+#: consecutive clusterings share most of their structure, which is
+#: exactly what the monotone carries (known-core lower bounds, pre-union
+#: seeds) exploit.  At full size the core-labeling and BCP-dominated
+#: components phases are the bulk of every independent run.
+FULL_CONFIG = (
+    "full", 50_000, 3,
+    (40.0, 44.0, 48.0, 53.0, 58.0, 64.0, 70.0, 77.0), 10,
+)
+SMOKE_CONFIG = ("smoke", 4_000, 3, (60.0, 68.0, 77.0, 87.0, 98.0), 10)
+
+
+def _assert_identical(a, b, context):
+    assert np.array_equal(a.labels, b.labels), f"{context}: labels differ"
+    assert np.array_equal(a.core_mask, b.core_mask), f"{context}: core masks differ"
+    assert a == b, f"{context}: clusterings differ"
+
+
+def measure(config, report=print):
+    name, n, d, eps_grid, min_pts = config
+    points = seed_spreader(n, d, seed=cfg.SEED + d).points
+    report(f"engine sweep — SS{d}D, n={len(points)}, MinPts={min_pts}, "
+           f"eps grid {[f'{e:g}' for e in eps_grid]} [{name}]")
+
+    # Baseline: one independent cold run per eps.
+    t0 = time.perf_counter()
+    independent = [dbscan(points, eps, min_pts, algorithm="grid") for eps in eps_grid]
+    independent_time = time.perf_counter() - t0
+    report(f"  independent runs : {independent_time:8.3f} s "
+           f"({len(eps_grid)} x fresh dbscan)")
+
+    # Incremental sweep through a fresh engine (cold cache: the comparison
+    # charges the engine for every structure it builds).
+    engine = ClusteringEngine(points, cache=StructureCache())
+    t0 = time.perf_counter()
+    swept = engine.sweep(list(eps_grid), min_pts)
+    sweep_time = time.perf_counter() - t0
+    sweep_speedup = independent_time / sweep_time if sweep_time > 0 else float("inf")
+    report(f"  incremental sweep: {sweep_time:8.3f} s "
+           f"(speedup {sweep_speedup:.2f}x)")
+
+    for eps, fresh, inc in zip(eps_grid, independent, swept):
+        _assert_identical(inc, fresh, f"sweep @ eps={eps:g}")
+
+    # Warm vs cold single run at the middle eps (fresh engine again so the
+    # sweep above cannot have pre-warmed anything).
+    mid = eps_grid[len(eps_grid) // 2]
+    single = ClusteringEngine(points, cache=StructureCache())
+    t0 = time.perf_counter()
+    cold = single.dbscan(mid, min_pts)
+    cold_time = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm = single.dbscan(mid, min_pts)
+    warm_time = time.perf_counter() - t0
+    warm_speedup = cold_time / warm_time if warm_time > 0 else float("inf")
+    report(f"  single @ eps={mid:g}: cold {cold_time:.3f} s, warm "
+           f"{warm_time:.3f} s (speedup {warm_speedup:.2f}x)")
+    _assert_identical(warm, cold, f"warm run @ eps={mid:g}")
+    _assert_identical(cold, independent[len(eps_grid) // 2], f"cold run @ eps={mid:g}")
+
+    return {
+        "config": name,
+        "n": int(len(points)),
+        "d": d,
+        "min_pts": min_pts,
+        "eps_grid": list(eps_grid),
+        "independent_seconds": independent_time,
+        "sweep_seconds": sweep_time,
+        "sweep_speedup": sweep_speedup,
+        "cold_seconds": cold_time,
+        "warm_seconds": warm_time,
+        "warm_speedup": warm_speedup,
+        "byte_identical": True,  # the asserts above would have failed otherwise
+        "cache_stats": swept[-1].meta["engine_cache"],
+    }
+
+
+def test_engine_sweep_smoke(report):
+    """CI smoke: byte-identity plus a sanity speedup on the tiny config."""
+    stats = measure(SMOKE_CONFIG, report)
+    # Even the smoke workload must not be *slower* than independent runs by
+    # more than pool/noise margins; the honest 2x target is full-size only.
+    assert stats["sweep_speedup"] > 1.0, (
+        f"incremental sweep slower than independent runs "
+        f"({stats['sweep_speedup']:.2f}x)"
+    )
+    assert stats["warm_speedup"] > 1.0, (
+        f"warm-cache run slower than cold ({stats['warm_speedup']:.2f}x)"
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the CI-sized config instead of the full one")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the measurements to PATH as JSON")
+    args = parser.parse_args(argv)
+    config = SMOKE_CONFIG if args.smoke else FULL_CONFIG
+    stats = measure(config)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(stats, fh, indent=2)
+        print(f"wrote {args.json}")
+    if args.smoke:
+        ok = stats["sweep_speedup"] > 1.0 and stats["warm_speedup"] > 1.0
+    else:
+        ok = (stats["sweep_speedup"] >= TARGET_SWEEP_SPEEDUP
+              and stats["warm_speedup"] > 1.0)
+        if not ok:
+            print(f"FAIL: sweep speedup {stats['sweep_speedup']:.2f}x below "
+                  f"the {TARGET_SWEEP_SPEEDUP}x target")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,10 @@ Highlights
 * :mod:`repro.parallel` — the sharded multiprocessing pipeline behind the
   ``workers=`` argument: identical output, near-linear speedups on the
   grid algorithms (see docs/PARALLEL.md).
+* :class:`repro.ClusteringEngine` — a reusable per-dataset service:
+  structures (grids, indexes, core masks, Lemma 5 hierarchies) are cached
+  across calls, and multi-eps parameter sweeps run incrementally with
+  byte-identical outputs (see docs/PERFORMANCE.md).
 * :mod:`repro.hardness` — executable Lemma 4: the reduction that makes any
   fast DBSCAN algorithm solve the USEC problem.
 * :mod:`repro.data` — the seed-spreader generator of Section 5.1 and
@@ -32,6 +36,7 @@ from repro.api import (
 )
 from repro.core.params import ApproxParams, DBSCANParams
 from repro.core.result import NOISE, Clustering
+from repro.engine import ClusteringEngine, StructureCache
 from repro.parallel import ParallelConfig
 from repro.errors import (
     AlgorithmError,
@@ -52,6 +57,8 @@ __all__ = [
     "run_resilient",
     "sampled_dbscan",
     "ResiliencePolicy",
+    "ClusteringEngine",
+    "StructureCache",
     "Deadline",
     "MemoryBudget",
     "ParallelConfig",

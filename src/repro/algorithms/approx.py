@@ -19,11 +19,12 @@ from typing import Optional
 
 from repro.core.params import ApproxParams
 from repro.core.result import Clustering, empty_clustering
+from repro.errors import ParameterError
 from repro.parallel.executor import WorkersLike, as_parallel_config, parallel_approx_components
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.deadline import Deadline, as_deadline
 from repro.runtime.memory import MemoryBudget, as_memory_budget
-from repro.runtime.pipeline import run_grid_pipeline
+from repro.runtime.pipeline import PipelineHooks, run_grid_pipeline
 from repro.utils.log import get_logger
 from repro.utils.validation import as_points
 
@@ -43,6 +44,8 @@ def approx_dbscan(
     memory: Optional[MemoryBudget] = None,
     checkpoint: Optional[str] = None,
     workers: WorkersLike = None,
+    hooks: Optional[PipelineHooks] = None,
+    engine=None,
 ) -> Clustering:
     """rho-approximate DBSCAN (Theorem 4).
 
@@ -71,6 +74,16 @@ def approx_dbscan(
         Optional worker-process count (or a
         :class:`~repro.parallel.ParallelConfig`) for the sharded parallel
         pipeline; the labeling is identical to the serial run.
+    hooks:
+        Warm phase products and monotone-sweep seeds
+        (:class:`~repro.runtime.pipeline.PipelineHooks`) — the reuse seam
+        of :class:`repro.engine.ClusteringEngine`.  The output is
+        identical with or without them.
+    engine:
+        Optional :class:`~repro.engine.ClusteringEngine` over these same
+        points: the call is answered through its structure cache (byte-
+        identical output).  Incompatible with ``checkpoint`` and with an
+        explicit ``hooks``.
     """
     params = ApproxParams(eps, min_pts, rho)
     pts = as_points(points, allow_empty=True)
@@ -84,12 +97,38 @@ def approx_dbscan(
             }
         )
 
+    if engine is not None:
+        if checkpoint is not None:
+            raise ParameterError(
+                "checkpoint cannot be combined with engine=; run either a "
+                "resumable one-shot call or a cached engine call"
+            )
+        if hooks is not None:
+            raise ParameterError(
+                "pass either engine= (which builds its own hooks) or hooks=, "
+                "not both"
+            )
+        if not engine.matches(pts):
+            raise ParameterError(
+                "engine was built over a different dataset than the points "
+                "passed to approx_dbscan(); build a ClusteringEngine over "
+                "these points"
+            )
+        return engine.approx_dbscan(
+            params.eps, params.min_pts, params.rho, exact_leaf_size,
+            time_budget=time_budget, deadline=deadline,
+            memory_budget_mb=memory_budget_mb, workers=workers,
+        )
+
     cfg = as_parallel_config(workers)
     guard = as_memory_budget(memory_budget_mb, memory)
+    preunion = None if hooks is None else hooks.preunion
+    structures = None if hooks is None else hooks.structures
 
     def connect(grid, core_mask, dl, par):
         return parallel_approx_components(
-            grid, core_mask, par, params.rho, exact_leaf_size, deadline=dl, memory=guard
+            grid, core_mask, par, params.rho, exact_leaf_size,
+            deadline=dl, memory=guard, preunion=preunion, structures=structures,
         )
 
     return run_grid_pipeline(
@@ -107,4 +146,5 @@ def approx_dbscan(
         memory=guard,
         checkpoint=CheckpointStore(checkpoint) if checkpoint else None,
         parallel=cfg,
+        hooks=hooks,
     )

@@ -40,7 +40,7 @@ def brute_dbscan(
     params = DBSCANParams(eps, min_pts)
     pts = as_points(points)
     n = len(pts)
-    sq_eps = params.eps * params.eps
+    sq_eps = dm.sq_radius(params.eps)
     deadline = as_deadline(time_budget, deadline)
 
     def checkpoint(phase: str) -> None:

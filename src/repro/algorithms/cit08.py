@@ -29,7 +29,7 @@ class _EpsGrid:
     def __init__(self, points: np.ndarray, eps: float) -> None:
         self.points = points
         self.eps = eps
-        self._sq_eps = eps * eps
+        self._sq_eps = dm.sq_radius(eps)
         coords = np.floor(points / eps).astype(np.int64)
         self.coords = coords
         self.cells: Dict[Tuple[int, ...], np.ndarray] = {}

@@ -30,7 +30,7 @@ from repro.parallel.executor import WorkersLike, as_parallel_config, parallel_ex
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.deadline import Deadline, as_deadline
 from repro.runtime.memory import MemoryBudget, as_memory_budget
-from repro.runtime.pipeline import run_grid_pipeline
+from repro.runtime.pipeline import PipelineHooks, run_grid_pipeline
 from repro.utils.log import get_logger
 from repro.utils.validation import as_points
 
@@ -49,6 +49,7 @@ def exact_grid_dbscan(
     memory: Optional[MemoryBudget] = None,
     checkpoint: Optional[str] = None,
     workers: WorkersLike = None,
+    hooks: Optional[PipelineHooks] = None,
 ) -> Clustering:
     """Exact DBSCAN via the grid + BCP algorithm of Theorem 2.
 
@@ -59,16 +60,22 @@ def exact_grid_dbscan(
     to, from which an identical invocation resumes.  ``workers`` (an int
     or a :class:`~repro.parallel.ParallelConfig`) fans the cores /
     components / borders phases out over a process pool; the labeling is
-    identical to the serial run (see ``docs/PARALLEL.md``).
+    identical to the serial run (see ``docs/PARALLEL.md``).  ``hooks``
+    donates warm phase products and monotone-sweep seeds
+    (:class:`~repro.runtime.pipeline.PipelineHooks`) — the reuse seam of
+    :class:`repro.engine.ClusteringEngine`; the output is identical with
+    or without them.
     """
     params = DBSCANParams(eps, min_pts)
     pts = as_points(points)
     cfg = as_parallel_config(workers)
     guard = as_memory_budget(memory_budget_mb, memory)
+    preunion = None if hooks is None else hooks.preunion
 
     def connect(grid, core_mask, dl, par):
         return parallel_exact_components(
-            grid, core_mask, par, bcp_strategy, deadline=dl, memory=guard
+            grid, core_mask, par, bcp_strategy,
+            deadline=dl, memory=guard, preunion=preunion,
         )
 
     return run_grid_pipeline(
@@ -86,6 +93,7 @@ def exact_grid_dbscan(
         memory=guard,
         checkpoint=CheckpointStore(checkpoint) if checkpoint else None,
         parallel=cfg,
+        hooks=hooks,
     )
 
 
@@ -100,6 +108,7 @@ def gunawan_2d_dbscan(
     memory_budget_mb: Optional[float] = None,
     checkpoint: Optional[str] = None,
     workers: WorkersLike = None,
+    hooks: Optional[PipelineHooks] = None,
 ) -> Clustering:
     """Gunawan's 2D O(n log n) algorithm (d = 2 only).
 
@@ -125,6 +134,7 @@ def gunawan_2d_dbscan(
         memory_budget_mb=memory_budget_mb,
         checkpoint=checkpoint,
         workers=workers,
+        hooks=hooks,
     )
     result.meta["algorithm"] = "gunawan2d"
     result.meta["edges"] = edges

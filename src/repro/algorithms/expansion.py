@@ -28,6 +28,9 @@ from repro.runtime.memory import MemoryBudget
 
 RegionQuery = Callable[[int], np.ndarray]
 
+#: Batched variant: point indices -> one neighbour array per index.
+RegionQueryBatch = Callable[[np.ndarray], "list[np.ndarray]"]
+
 #: Range queries between two RSS polls when a memory budget is active.
 _MEMORY_POLL_STRIDE = 1024
 
@@ -42,6 +45,7 @@ def expand_dbscan(
     *,
     deadline: Optional[Deadline] = None,
     memory: Optional[MemoryBudget] = None,
+    region_query_batch: Optional[RegionQueryBatch] = None,
 ) -> Clustering:
     """Run seed-expansion DBSCAN with the given range-query backend.
 
@@ -53,6 +57,14 @@ def expand_dbscan(
     polled before every range query (the unit of work that dominates the
     Theta(n^2) worst case); ``memory`` is polled every
     ``_MEMORY_POLL_STRIDE`` queries.
+
+    ``region_query_batch`` (indices -> list of neighbour arrays) switches
+    the seed expansion to *batched frontier rounds*: the pending seeds of a
+    cluster are range-queried in one call instead of one Python-level query
+    each.  Because newly discovered seeds always join the tail of the
+    queue, a FIFO round is exactly the serial processing order, so the
+    result — including ``meta['first_labels']`` and the query counters —
+    is byte-identical to the per-point path.
     """
     n = len(points)
     min_pts = params.min_pts
@@ -87,6 +99,36 @@ def expand_dbscan(
         seeds = deque()
         _absorb(neighbors, cid, first_labels, core_mask, memberships, seeds, NOISE, UNCLASSIFIED)
         while seeds:
+            if region_query_batch is not None:
+                # Batched frontier round: snapshot the queue (new seeds are
+                # only ever appended behind it, so querying the snapshot in
+                # order is exactly the serial FIFO order), dedupe it, and
+                # answer every pending query in one vectorised call.
+                frontier = []
+                seen_round = set()
+                while seeds:
+                    q = seeds.popleft()
+                    if queried[q] or q in seen_round:
+                        continue
+                    seen_round.add(q)
+                    frontier.append(q)
+                if not frontier:
+                    continue
+                if deadline is not None:
+                    deadline.check()
+                batch = region_query_batch(np.asarray(frontier, dtype=np.int64))
+                for q, q_neighbors in zip(frontier, batch):
+                    queried[q] = True
+                    n_queries += 1
+                    if memory is not None and n_queries % _MEMORY_POLL_STRIDE == 0:
+                        memory.check(f"{algorithm_name} expansion")
+                    n_retrieved += len(q_neighbors)
+                    if len(q_neighbors) < min_pts:
+                        continue  # border point: not expanded
+                    core_mask[q] = True
+                    _absorb(q_neighbors, cid, first_labels, core_mask,
+                            memberships, seeds, NOISE, UNCLASSIFIED)
+                continue
             q = seeds.popleft()
             if queried[q]:
                 continue

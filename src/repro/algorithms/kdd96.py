@@ -34,6 +34,7 @@ def kdd96_dbscan(
     *,
     deadline: Optional[Deadline] = None,
     memory: Optional[MemoryBudget] = None,
+    tree=None,
 ) -> Clustering:
     """The original KDD'96 DBSCAN.
 
@@ -42,12 +43,20 @@ def kdd96_dbscan(
     index:
         ``"rtree"`` (STR-packed, default), ``"rstar"`` (dynamically built
         R*-tree — the original implementation's index), or ``"kdtree"``.
+        The kd-tree answers the seed expansion through
+        :meth:`~repro.index.kdtree.KDTree.range_query_batch`, which
+        range-queries a whole frontier round in one vectorised traversal.
     time_budget:
         Optional wall-clock cut-off in seconds (raises
         :class:`~repro.errors.TimeoutExceeded`), mirroring the paper's
         12-hour limit on the slow baselines.  ``deadline`` passes a
         ready-made :class:`~repro.runtime.Deadline` instead; the token also
         covers index construction.
+    tree:
+        Optional prebuilt index of the kind ``index`` names, built over
+        exactly these points.  The reusable-structure path of
+        :class:`~repro.engine.ClusteringEngine` passes its cached index
+        here to skip construction on warm calls.
     """
     params = DBSCANParams(eps, min_pts)
     pts = as_points(points)
@@ -56,16 +65,22 @@ def kdd96_dbscan(
         deadline.check()
     if index not in _INDEXES:
         raise ParameterError(f"unknown index {index!r}; choose from {_INDEXES}")
-    if index == "rtree":
-        tree = RTree(pts)
-    elif index == "rstar":
-        # The original implementation's index: a dynamically built R*-tree.
-        tree = RStarTree(pts)
-    else:
-        tree = KDTree(pts)
+    if tree is None:
+        if index == "rtree":
+            tree = RTree(pts)
+        elif index == "rstar":
+            # The original implementation's index: a dynamically built R*-tree.
+            tree = RStarTree(pts)
+        else:
+            tree = KDTree(pts)
 
     def region_query(i: int):
         return tree.range_query(pts[i], params.eps)
+
+    region_query_batch = None
+    if isinstance(tree, KDTree):
+        def region_query_batch(idx):
+            return tree.range_query_batch(pts[idx], params.eps)
 
     return expand_dbscan(
         pts,
@@ -75,4 +90,5 @@ def kdd96_dbscan(
         deadline=deadline,
         memory=memory,
         extra_meta={"index": index},
+        region_query_batch=region_query_batch,
     )

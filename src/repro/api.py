@@ -47,6 +47,7 @@ def dbscan(
     memory_budget_mb: Optional[float] = None,
     checkpoint: Optional[str] = None,
     workers: WorkersLike = None,
+    engine=None,
 ) -> Clustering:
     """Exact DBSCAN (Problem 1) with a selectable algorithm.
 
@@ -99,6 +100,14 @@ def dbscan(
         ``max_shard_retries``, ``shard_timeout``, ``quarantine`` and
         ``max_pool_respawns``, or ``supervise=False`` for the bare pool.
         Recovery actions are recorded in ``result.meta["supervisor"]``.
+    engine:
+        Optional :class:`~repro.engine.ClusteringEngine` built over these
+        same points.  The call is answered through the engine's structure
+        cache (warm grids, indexes and core masks are reused; the output
+        is byte-identical to the engine-less call).  Incompatible with
+        ``checkpoint`` — phase-level resume and structure donation would
+        fight over the same phases — and the points must match the
+        engine's dataset.
 
     Returns
     -------
@@ -133,6 +142,21 @@ def dbscan(
     # cfg is already resolved (env default included); pass 1 when serial so
     # the callee does not consult the environment a second time.
     resolved_workers: WorkersLike = cfg if cfg is not None else 1
+    if engine is not None:
+        if checkpoint is not None:
+            raise ParameterError(
+                "checkpoint cannot be combined with engine=; run either a "
+                "resumable one-shot call or a cached engine call"
+            )
+        if not engine.matches(pts):
+            raise ParameterError(
+                "engine was built over a different dataset than the points "
+                "passed to dbscan(); build a ClusteringEngine over these points"
+            )
+        return engine.dbscan(
+            eps, min_pts, algorithm=algorithm, deadline=deadline,
+            memory_budget_mb=memory_budget_mb, workers=resolved_workers,
+        )
     if algorithm == "grid":
         return exact_grid_dbscan(
             pts, eps, min_pts, deadline=deadline, memory=memory,

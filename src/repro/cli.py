@@ -76,6 +76,16 @@ def _parallel_workers(args):
 
 def _run_algorithm(args, points):
     workers = _parallel_workers(args)
+    engine = None
+    if getattr(args, "engine_cache", False):
+        if getattr(args, "resilience", False):
+            raise ConfigError(
+                "--engine-cache cannot be combined with --resilience: the "
+                "degradation cascade manages its own attempts"
+            )
+        from repro.engine import ClusteringEngine
+
+        engine = ClusteringEngine(points, workers=workers)
     if getattr(args, "resilience", False):
         from repro.runtime.resilient import ResiliencePolicy, run_resilient
 
@@ -97,6 +107,7 @@ def _run_algorithm(args, points):
             memory_budget_mb=args.memory_budget_mb,
             checkpoint=args.checkpoint,
             workers=workers,
+            engine=engine,
         )
     return dbscan(
         points,
@@ -107,6 +118,7 @@ def _run_algorithm(args, points):
         memory_budget_mb=args.memory_budget_mb,
         checkpoint=args.checkpoint,
         workers=workers,
+        engine=engine,
     )
 
 
@@ -133,6 +145,19 @@ def _cmd_cluster(args) -> int:
     points = data_io.load_points(args.input, on_bad_rows=args.on_bad_rows)
     result = _run_algorithm(args, points)
     print(result.summary())
+    if getattr(args, "profile", False):
+        phase_seconds = result.meta.get("phase_seconds")
+        if phase_seconds:
+            from repro.evaluation.timing import format_profile
+
+            cache_stats = result.meta.get("engine_cache")
+            extra = None
+            if cache_stats:
+                extra = {f"cache {k}": v for k, v in cache_stats.items()}
+            print(format_profile(phase_seconds, extra=extra))
+        else:
+            print(f"no phase profile: algorithm {args.algorithm!r} does not "
+                  "run the grid pipeline")
     resilience = result.meta.get("resilience")
     if resilience:
         print(f"resilience: served by tier {resilience['tier']!r} "
@@ -278,6 +303,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run the degradation cascade instead of one "
                           "algorithm: exact under budget, else "
                           "rho-approximate, else subsampled")
+    clu.add_argument("--engine-cache", dest="engine_cache", action="store_true",
+                     help="answer the run through a ClusteringEngine "
+                          "structure cache (grids, indexes and core masks "
+                          "are reused across calls in this process; output "
+                          "is byte-identical)")
+    clu.add_argument("--profile", action="store_true",
+                     help="print a per-phase timing breakdown (and cache "
+                          "statistics with --engine-cache) after the summary")
     clu.set_defaults(func=_cmd_cluster)
 
     sug = sub.add_parser("suggest-eps", help="find a stable eps plateau")
@@ -343,6 +376,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        # Fail fast on malformed fleet-wide knobs: the chunk budget is
+        # only read deep inside the chunked kernels, which not every
+        # workload reaches — validating here keeps the exit-3 contract
+        # uniform across commands.
+        config.chunk_budget()
         return args.func(args)
     except ConfigError as exc:
         print(f"configuration error: {exc}", file=sys.stderr)

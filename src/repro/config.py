@@ -143,6 +143,19 @@ def shard_timeout() -> Optional[float]:
     return _env_float("REPRO_SHARD_TIMEOUT", None, 0.0)
 
 
+def chunk_budget() -> int:
+    """Pairwise-kernel chunk budget from ``REPRO_CHUNK_BUDGET``.
+
+    The number of matrix entries one chunk of a pairwise distance
+    computation may hold (see :mod:`repro.geometry.distance`); the default
+    of 4 million float64 entries keeps a chunk around 32 MB.  Lower it on
+    memory-starved deployments, raise it when the default chunking shows
+    up in profiles.  A set-but-invalid value (``"abc"``, ``0``, negative)
+    raises :class:`~repro.errors.ConfigError` naming the variable.
+    """
+    return _env_int("REPRO_CHUNK_BUDGET", 4_000_000, 1)
+
+
 def scale_factor() -> float:
     """Workload multiplier taken from the ``REPRO_SCALE`` environment variable."""
     raw = os.environ.get("REPRO_SCALE", "1")

@@ -44,7 +44,7 @@ def assign_borders(
     merge (by plain dict union) into the full assignment.
     """
     points = grid.points
-    sq_eps = grid.eps * grid.eps
+    sq_eps = dm.sq_radius(grid.eps)
     out: Dict[int, Tuple[int, ...]] = {}
     if cells is None:
         work = grid.cells.items()

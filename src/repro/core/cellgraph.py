@@ -20,7 +20,7 @@ labels directly.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -28,6 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.runtime.deadline import Deadline
 
 from repro.errors import ParameterError
+from repro.geometry import distance as dm
 from repro.geometry.bcp import bcp_within
 from repro.grid.cells import CellCoord, Grid
 from repro.grid.hierarchy import CountingHierarchy
@@ -63,7 +64,7 @@ def exact_edge_predicate(
         # Gunawan-style: one search structure per core cell, reused across
         # all of the cell's pairs (instead of a fresh BCP per pair).
         trees: Dict[CellCoord, KDTree] = {}
-        sq_eps = grid.eps * grid.eps * (1.0 + 1e-12)
+        sq_eps = dm.sq_radius(grid.eps)
 
         def edge(c1: CellCoord, c2: CellCoord) -> bool:
             # Query from the smaller cell into the larger cell's tree.
@@ -139,24 +140,81 @@ def approx_edge_predicate(
     return edge
 
 
+def apply_preunion(
+    uf: KeyedUnionFind,
+    preunion: Optional[List[Tuple[CellCoord, CellCoord]]],
+) -> None:
+    """Seed a union-find with pairs already known to be connected in ``G``.
+
+    Each ``preunion`` pair must lie in the same connected component of the
+    graph being built (e.g. carried forward from a smaller ``eps`` in a
+    monotone sweep — Theorem 3: clusters only merge as ``eps`` grows, so
+    same-component pairs stay same-component).  Pairs naming cells absent
+    from the forest are skipped: ``KeyedUnionFind.union`` would otherwise
+    register them and shift every later component label.  Pre-unioning
+    same-component pairs never changes the final partition or its labels,
+    because ``component_labels`` orders components by key insertion order,
+    which is fixed at construction.
+    """
+    if not preunion:
+        return
+    for c1, c2 in preunion:
+        if c1 in uf and c2 in uf:
+            uf.union(c1, c2)
+
+
+def candidate_cell_pairs(
+    grid: Grid,
+    cells: Dict[CellCoord, np.ndarray],
+    uf: KeyedUnionFind,
+    *,
+    seeded: bool,
+) -> Iterator[Tuple[CellCoord, CellCoord]]:
+    """Neighbour core-cell pairs still worth an edge test.
+
+    Unseeded, this is exactly ``grid.neighbor_cell_pairs`` over the core
+    cells.  Seeded (a pre-union carry was applied to ``uf``), pairs whose
+    endpoints already share a root are dropped up front by one vectorised
+    comparison over a static root snapshot — instead of two
+    path-compressing finds and a BCP test per pair.  Dropping them is
+    sound: a union between same-component cells is a no-op, so the final
+    partition (the transitive closure of the deterministic edge set) is
+    unchanged.
+    """
+    keys, ii, jj = grid.neighbor_cell_pair_arrays(subset=cells.keys())
+    if seeded and len(ii):
+        root = np.fromiter(
+            (uf.find(c) for c in keys), dtype=np.int64, count=len(keys)
+        )
+        keep = root[ii] != root[jj]
+        ii, jj = ii[keep], jj[keep]
+    for i, j in zip(ii.tolist(), jj.tolist()):
+        yield keys[i], keys[j]
+
+
 def exact_components(
     grid: Grid,
     core_mask: np.ndarray,
     bcp_strategy: str = "auto",
     *,
     deadline: Optional["Deadline"] = None,
+    preunion: Optional[List[Tuple[CellCoord, CellCoord]]] = None,
 ) -> Tuple[np.ndarray, int]:
     """Connected components of the exact graph ``G``.
 
     Returns ``(labels, k)``: a dense component id per point (valid only at
     core positions; ``-1`` elsewhere) and the number of components ``k``.
     ``deadline`` is polled once per candidate cell pair — i.e. before each
-    BCP computation, the dominant cost of the phase.
+    BCP computation, the dominant cost of the phase.  ``preunion``
+    optionally seeds the union-find with known-true edges (see
+    :func:`apply_preunion`); seeded pairs short-circuit their BCP tests
+    without changing the result.
     """
     cells = core_cells(grid, core_mask)
     uf = KeyedUnionFind(cells.keys())
+    apply_preunion(uf, preunion)
     edge = exact_edge_predicate(grid, cells, bcp_strategy)
-    for c1, c2 in grid.neighbor_cell_pairs(subset=cells.keys()):
+    for c1, c2 in candidate_cell_pairs(grid, cells, uf, seeded=bool(preunion)):
         if deadline is not None:
             deadline.tick()
         if uf.connected(c1, c2):
@@ -173,6 +231,8 @@ def approx_components(
     exact_leaf_size: int | None = None,
     *,
     deadline: Optional["Deadline"] = None,
+    preunion: Optional[List[Tuple[CellCoord, CellCoord]]] = None,
+    structures: Optional[Dict[CellCoord, CountingHierarchy]] = None,
 ) -> Tuple[np.ndarray, int]:
     """Connected components of the rho-approximate graph ``G``.
 
@@ -180,20 +240,29 @@ def approx_components(
     structure of one cell with the core points of the other; a non-zero
     (approximate) count adds the edge.  The resulting components satisfy
     Definition 5 (see the correctness argument in Section 4.4).
+
+    ``preunion`` seeds known-true edges (:func:`apply_preunion`);
+    ``structures`` seeds the per-cell Lemma 5 structure map — cells already
+    present are not rebuilt, and the map is updated in place so a caller
+    (the clustering engine) can keep it warm across runs.
     """
     cells = core_cells(grid, core_mask)
     uf = KeyedUnionFind(cells.keys())
+    apply_preunion(uf, preunion)
     points = grid.points
     kwargs = {} if exact_leaf_size is None else {"exact_leaf_size": exact_leaf_size}
-    structures: Dict[CellCoord, CountingHierarchy] = {}
+    if structures is None:
+        structures = {}
     for cell, idx in cells.items():
+        if cell in structures:
+            continue
         if deadline is not None:
             deadline.tick()
         structures[cell] = CountingHierarchy(points[idx], grid.eps, rho, **kwargs)
     edge = approx_edge_predicate(
         grid, cells, rho, exact_leaf_size, structures=structures
     )
-    for c1, c2 in grid.neighbor_cell_pairs(subset=cells.keys()):
+    for c1, c2 in candidate_cell_pairs(grid, cells, uf, seeded=bool(preunion)):
         if deadline is not None:
             deadline.tick()
         if uf.connected(c1, c2):

@@ -31,6 +31,7 @@ def label_cores(
     *,
     deadline: Optional["Deadline"] = None,
     cells=None,
+    known_core: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Boolean core mask for every point of ``grid.points``.
 
@@ -43,6 +44,13 @@ def label_cores(
     The per-cell decision only reads the cell's eps-neighbour cells, so a
     union of shard passes over a partition of the grid equals the full
     pass — this is what :mod:`repro.parallel` fans out over workers.
+
+    ``known_core`` optionally marks points *already known* to be core — a
+    sound lower bound, e.g. the core mask of a smaller ``eps`` at the same
+    ``MinPts`` (``|B(p, eps)|`` is monotone in ``eps``, the Sandwich
+    Theorem's Theorem 3 ingredient).  Known points skip the counting pass;
+    a cell whose points are all known skips its neighbour scan entirely.
+    The returned mask is identical to a run without the hint.
     """
     if grid.side > grid.eps / np.sqrt(grid.dim) * (1.0 + 1e-9):
         raise AlgorithmError(
@@ -50,12 +58,21 @@ def label_cores(
             f"points are within eps (side={grid.side}, eps={grid.eps}, d={grid.dim})"
         )
     points = grid.points
-    sq_eps = grid.eps * grid.eps
+    sq_eps = dm.sq_radius(grid.eps)
     core = np.zeros(len(points), dtype=bool)
-    if cells is None:
-        work = grid.cells.items()
-    else:
+    if cells is not None:
         work = ((tuple(c), grid.points_in(c)) for c in cells)
+    elif known_core is not None and known_core.any():
+        # Monotone carry: only cells holding a not-yet-known point can
+        # change anything; every other cell's verdict is the hint itself.
+        core[:] = known_core
+        unknown = np.nonzero(~known_core)[0]
+        if len(unknown) == 0:
+            return core
+        ucells = np.unique(grid.point_cells[unknown], axis=0)
+        work = ((tuple(c), grid.points_in(c)) for c in ucells.tolist())
+    else:
+        work = grid.cells.items()
 
     for cell, idx in work:
         if deadline is not None:
@@ -63,11 +80,21 @@ def label_cores(
         if len(idx) >= min_pts:
             core[idx] = True
             continue
+        cell_size = len(idx)
+        if known_core is not None:
+            already = known_core[idx]
+            if already.all():
+                core[idx] = True
+                continue
+            if already.any():
+                core[idx[already]] = True
+                idx = idx[~already]
         # Sparse cell: count neighbours with early termination.  Neighbour
         # cells are processed in batches of a few hundred points so that
         # near-singleton cells (common on thin, spread-out data) do not pay
-        # one numpy-call overhead per cell.
-        counts = np.full(len(idx), len(idx), dtype=np.int64)
+        # one numpy-call overhead per cell.  Same-cell points are all within
+        # eps, so every point starts at the (full) cell occupancy.
+        counts = np.full(len(idx), cell_size, dtype=np.int64)
         active = np.arange(len(idx))
         pending: list = []
         pending_size = 0
@@ -102,7 +129,7 @@ def neighbor_counts(grid: Grid, cap: int | None = None) -> np.ndarray:
     if grid.side > grid.eps / np.sqrt(grid.dim) * (1.0 + 1e-9):
         raise AlgorithmError("neighbor_counts requires cell side <= eps/sqrt(d)")
     points = grid.points
-    sq_eps = grid.eps * grid.eps
+    sq_eps = dm.sq_radius(grid.eps)
     counts = np.zeros(len(points), dtype=np.int64)
     for cell, idx in grid.cells.items():
         counts[idx] += len(idx)

@@ -1,0 +1,24 @@
+"""The reusable clustering engine: shared structures, incremental sweeps.
+
+One dataset, many requests: :class:`ClusteringEngine` keeps every
+expensive precomputation (grids, spatial indexes, core masks, Lemma 5
+hierarchies) in a :class:`StructureCache` keyed by dataset fingerprint and
+parameters, and :meth:`ClusteringEngine.sweep` reuses monotone work across
+an ascending multi-eps sweep.  Outputs are byte-identical to the one-shot
+entry points — see ``docs/PERFORMANCE.md``.
+"""
+
+from repro.engine.cache import StructureCache, default_cache, estimate_structure_bytes
+from repro.engine.core import SWEEP_ALGORITHMS, ClusteringEngine
+from repro.engine.sweep import approx_carry_ok, ascending_order, preunion_pairs
+
+__all__ = [
+    "ClusteringEngine",
+    "StructureCache",
+    "default_cache",
+    "estimate_structure_bytes",
+    "SWEEP_ALGORITHMS",
+    "ascending_order",
+    "approx_carry_ok",
+    "preunion_pairs",
+]

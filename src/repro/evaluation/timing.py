@@ -52,6 +52,65 @@ def timed(label: str, fn: Callable[[], object], budget: Optional[float] = None) 
     return TimedRun(label, perf_counter() - start, result=result)
 
 
+class PhaseTimer:
+    """Accumulates named wall-clock spans — the pipeline's phase profiler.
+
+    Use :meth:`measure` as a context manager around each phase; repeated
+    spans under the same name accumulate.  :attr:`seconds` is a plain
+    ``{name: seconds}`` dict, ready to drop into a result's ``meta``.
+    """
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+
+    def measure(self, name: str) -> "_PhaseSpan":
+        return _PhaseSpan(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.seconds[name] = self.seconds.get(name, 0.0) + float(seconds)
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+
+class _PhaseSpan:
+    """One ``with``-scoped span of a :class:`PhaseTimer`."""
+
+    def __init__(self, timer: PhaseTimer, name: str) -> None:
+        self._timer = timer
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_PhaseSpan":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._timer.add(self._name, perf_counter() - self._start)
+
+
+def format_profile(
+    phase_seconds: Dict[str, float],
+    extra: Optional[Dict[str, object]] = None,
+) -> str:
+    """Render a per-phase timing breakdown as an aligned table.
+
+    ``extra`` rows (e.g. cache hit / miss counters) are appended verbatim
+    below the timings — this is what ``repro cluster --profile`` prints.
+    """
+    total = sum(phase_seconds.values())
+    rows: List[Sequence[object]] = []
+    for name, secs in phase_seconds.items():
+        share = f"{100.0 * secs / total:.1f}%" if total > 0 else "-"
+        rows.append((name, f"{secs:.4f}", share))
+    rows.append(("total", f"{total:.4f}", "100.0%" if total > 0 else "-"))
+    if extra:
+        for key, value in extra.items():
+            rows.append((key, str(value), ""))
+    return format_table(("phase", "seconds", "share"), rows)
+
+
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
     """Render an aligned plain-text table."""
     cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]

@@ -142,19 +142,23 @@ def extract_dbscan(result: OPTICSResult, eps: float) -> Clustering:
             f"extraction radius {eps} exceeds the OPTICS generating radius {result.eps}"
         )
     n = result.n
+    # The same inflated decision boundary as every distance kernel
+    # (dm.sq_radius), in true-distance form: reachability and core
+    # distances are stored unsquared.
+    limit = float(np.sqrt(dm.sq_radius(eps)))
     labels = np.full(n, -1, dtype=np.int64)
     core_mask = np.zeros(n, dtype=bool)
     cluster_id = -1
     for j in result.order:
-        if result.reachability[j] > eps:
-            if result.core_distance[j] <= eps:
+        if result.reachability[j] > limit:
+            if result.core_distance[j] <= limit:
                 cluster_id += 1
                 labels[j] = cluster_id
             else:
                 labels[j] = -1
         else:
             labels[j] = cluster_id
-        if result.core_distance[j] <= eps:
+        if result.core_distance[j] <= limit:
             core_mask[j] = True
 
     borders = {

@@ -95,7 +95,8 @@ def bcp_within(
     b = np.asarray(b, dtype=np.float64)
     if strategy in ("auto", "brute"):
         return dm.any_within(a, b, eps)
-    return bcp(a, b, strategy=strategy).distance <= eps
+    d = bcp(a, b, strategy=strategy).distance
+    return d * d <= dm.sq_radius(eps)
 
 
 def _pick_strategy(a: np.ndarray, b: np.ndarray) -> str:

@@ -228,4 +228,4 @@ class VoronoiNN:
     def nearest_within(self, q: np.ndarray, eps: float) -> bool:
         """True iff the nearest point lies within ``eps`` of ``q``."""
         _idx, sq = self.nearest(q)
-        return sq <= eps * eps * (1.0 + 1e-12)
+        return sq <= dm.sq_radius(eps)

@@ -14,8 +14,38 @@ from typing import Iterator, Tuple
 
 import numpy as np
 
-#: Number of matrix entries a single chunk of a pairwise computation may hold.
+from repro import config
+
+#: Fallback number of matrix entries a single chunk of a pairwise
+#: computation may hold; ``REPRO_CHUNK_BUDGET`` overrides it (see
+#: :func:`repro.config.chunk_budget`).
 _CHUNK_BUDGET = 4_000_000
+
+
+def _chunk_budget() -> int:
+    """The effective chunk budget (environment override included)."""
+    return config.chunk_budget()
+
+
+#: Relative slack applied to every "within eps" decision boundary.  The
+#: expanded pairwise form and the diff-form tree kernels round differently
+#: on pairs lying *exactly* on the boundary (points ``0.3`` apart against
+#: ``eps = 0.3`` give ``0.09`` in one and ``0.09000000000000002`` in the
+#: other), so comparing both against the bare ``eps**2`` lets two exact
+#: algorithms disagree.  A shared, slightly inflated boundary — ~10^4 ULPs,
+#: far above either kernel's rounding error and far below any meaningful
+#: distance difference — keeps every decision identical.
+_BOUNDARY_SLACK = 1e-12
+
+
+def sq_radius(radius: float) -> float:
+    """Squared decision boundary for "within ``radius``" tests.
+
+    Every kernel in the library compares squared distances against this
+    value (never against the bare ``radius**2``) so that boundary pairs get
+    the same verdict no matter which kernel evaluated them.
+    """
+    return radius * radius * (1.0 + _BOUNDARY_SLACK)
 
 
 def sq_dist(p: np.ndarray, q: np.ndarray) -> float:
@@ -31,7 +61,7 @@ def dist(p: np.ndarray, q: np.ndarray) -> float:
 
 def sq_dists_to_point(points: np.ndarray, q: np.ndarray) -> np.ndarray:
     """Squared distances from every row of ``points`` to the point ``q``."""
-    diff = points - q
+    diff = np.asarray(points, dtype=np.float64) - np.asarray(q, dtype=np.float64)
     return np.einsum("ij,ij->i", diff, diff)
 
 
@@ -60,7 +90,7 @@ def iter_chunked_sq_dists(
     selected by ``row_slice`` against all of ``b``.  Memory stays bounded by
     the module chunk budget regardless of input sizes.
     """
-    rows = max(1, _CHUNK_BUDGET // max(1, len(b)))
+    rows = max(1, _chunk_budget() // max(1, len(b)))
     for start in range(0, len(a), rows):
         stop = min(start + rows, len(a))
         yield slice(start, stop), pairwise_sq_dists(a[start:stop], b)
@@ -68,7 +98,7 @@ def iter_chunked_sq_dists(
 
 def count_within(a: np.ndarray, b: np.ndarray, radius: float) -> np.ndarray:
     """For each row of ``a``, the number of rows of ``b`` within ``radius``."""
-    limit = radius * radius
+    limit = sq_radius(radius)
     counts = np.empty(len(a), dtype=np.int64)
     for rows, block in iter_chunked_sq_dists(a, b):
         counts[rows] = (block <= limit).sum(axis=1)
@@ -77,7 +107,7 @@ def count_within(a: np.ndarray, b: np.ndarray, radius: float) -> np.ndarray:
 
 def any_within(a: np.ndarray, b: np.ndarray, radius: float) -> bool:
     """True iff some pair ``(a_i, b_j)`` lies within ``radius``."""
-    limit = radius * radius
+    limit = sq_radius(radius)
     for _rows, block in iter_chunked_sq_dists(a, b):
         if (block <= limit).any():
             return True

@@ -94,19 +94,14 @@ class Grid:
         self._cells: Dict[CellCoord, np.ndarray] = _group_by_rows(coords)
         self._offsets = neighbor_offsets(self.eps, self.side, d)
         # In high dimensions the offset table explodes (~257k entries for
-        # d = 7, ~1.6k for d = 4) and per-cell enumeration costs
-        # |cells| * |offsets| dictionary probes per pass; when that beats
-        # the one-off cost of a (chunked, vectorised) all-pairs
-        # box-distance computation, build the full adjacency map instead.
-        # Built lazily on first neighbour query.
-        self._adjacency: Dict[CellCoord, List[CellCoord]] | None = None
+        # d = 7, ~1.6k for d = 4) far past the number of non-empty cells;
+        # there, probing offsets is hopeless and a (chunked, vectorised)
+        # all-pairs box-distance computation builds the full adjacency map
+        # instead.  Built lazily on first neighbour query.
+        self._adjacency: Dict[CellCoord, List[CellCoord]] | _CSRAdjacency | None = None
         self._key_coords: np.ndarray | None = None
         m = len(self._cells)
-        probe_cost = len(self._offsets) * m
-        self._use_allpairs = (
-            len(self._offsets) > 4 * max(m, 64)
-            or (probe_cost > 1_000_000 and m <= 60_000)
-        )
+        self._use_allpairs = len(self._offsets) > 4 * max(m, 64)
 
     # ------------------------------------------------------------- inspection
 
@@ -132,12 +127,91 @@ class Grid:
 
     # ------------------------------------------------------------- neighbours
 
-    def _ensure_adjacency(self) -> Dict[CellCoord, List[CellCoord]]:
-        """Build the full cell-adjacency map by all-pairs box tests."""
+    def _ensure_adjacency(self):
+        """Build (once) the full cell-adjacency map.
+
+        Low dimensions use the vectorised offset probe and store the map in
+        CSR form (index arrays, no per-cell Python lists); the high-``d``
+        regime, where the offset table dwarfs the cell count, falls back to
+        all-pairs box tests (:meth:`adjacency_rows`) and a plain dict.
+        :meth:`neighbor_cells` reads either representation.
+        """
         if self._adjacency is not None:
             return self._adjacency
-        self._adjacency = self.adjacency_rows(list(self._cells.keys()))
+        if self._use_allpairs:
+            self._adjacency = self.adjacency_rows(list(self._cells.keys()))
+        else:
+            self._adjacency = self._adjacency_from_offsets()
         return self._adjacency
+
+    def _adjacency_from_offsets(self) -> "_CSRAdjacency":
+        """CSR adjacency via the vectorised offset probe.
+
+        Each cell's neighbours come out in offset-table order — the same
+        order the old per-cell probing loop yielded them in, which callers
+        that scan neighbours lazily (labeling early-exit) may observe.
+        """
+        keys = list(self._cells.keys())
+        index = {c: t for t, c in enumerate(keys)}
+        m = len(keys)
+        if m < 2:
+            return _CSRAdjacency(
+                keys, np.zeros(m + 1, dtype=np.int64), _EMPTY_IDX, index
+            )
+        coords = np.asarray(keys, dtype=np.int64).reshape(m, self.dim)
+        nonzero = self._offsets[(self._offsets != 0).any(axis=1)]
+        i_parts: List[np.ndarray] = []
+        j_parts: List[np.ndarray] = []
+        for i_arr, j_arr in self._iter_offset_hits(coords, nonzero):
+            i_parts.append(i_arr)
+            j_parts.append(j_arr)
+        if not i_parts:
+            return _CSRAdjacency(
+                keys, np.zeros(m + 1, dtype=np.int64), _EMPTY_IDX, index
+            )
+        ii = np.concatenate(i_parts)
+        jj = np.concatenate(j_parts)
+        # Stable sort by source cell keeps each row in offset-table order
+        # (the concatenation order of the per-offset hit arrays).
+        order = np.argsort(ii, kind="stable")
+        indptr = np.concatenate(
+            [[0], np.cumsum(np.bincount(ii, minlength=m))]
+        ).astype(np.int64)
+        return _CSRAdjacency(keys, indptr, jj[order], index)
+
+    def _iter_offset_hits(
+        self, coords: np.ndarray, offsets: np.ndarray
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Per offset, index arrays ``(i, j)`` with ``coords[i] + off == coords[j]``.
+
+        One scalar membership test per offset replaces ``|coords| x
+        |offsets|`` dictionary probes: rows are packed into mixed-radix
+        int64 keys (the radix is padded by the offset reach, so every
+        shifted coordinate stays in range and a shift is a single scalar
+        addition on the packed keys), with a structured-dtype row view as
+        the overflow fallback.  Offsets that hit nothing are skipped.
+        """
+        reach = int(np.abs(self._offsets).max())
+        lo = coords.min(axis=0) - reach
+        spans = coords.max(axis=0) + reach + 1 - lo
+        if float(np.prod(spans.astype(np.float64))) < 2.0 ** 62:
+            rev = np.concatenate([[1], np.cumprod(spans[::-1][:-1])])
+            mults = rev[::-1]
+            base = (coords - lo) @ mults
+            shifts = [int(off @ mults) for off in offsets]
+        else:  # packed keys would overflow: fall back to structured rows
+            base = _row_view(coords)
+            shifts = None
+        order = np.argsort(base, kind="stable")
+        sorted_keys = base[order]
+        last = len(sorted_keys) - 1
+        for k, off in enumerate(offsets):
+            shifted = base + shifts[k] if shifts is not None else _row_view(coords + off)
+            pos = np.searchsorted(sorted_keys, shifted)
+            np.minimum(pos, last, out=pos)
+            hit = np.nonzero(sorted_keys[pos] == shifted)[0]
+            if len(hit):
+                yield hit, order[pos[hit]]
 
     def adjacency_rows(self, keys_block: List[CellCoord]) -> Dict[CellCoord, List[CellCoord]]:
         """Adjacency lists for a block of cells, by vectorised box tests.
@@ -169,19 +243,27 @@ class Grid:
 
     @property
     def needs_neighbor_warmup(self) -> bool:
-        """True while the all-pairs adjacency map is still unbuilt."""
-        return self._use_allpairs and self._adjacency is None
+        """True while the adjacency map is still unbuilt."""
+        return self._adjacency is None
+
+    @property
+    def uses_allpairs_adjacency(self) -> bool:
+        """True when adjacency comes from all-pairs box tests (high ``d``).
+
+        Only that build is expensive enough to shard across workers; the
+        offset-probe build is a fast vectorised pass done in-process.
+        """
+        return self._use_allpairs
 
     def warm_neighbors(self) -> None:
-        """Pre-build the neighbour machinery this grid will use.
+        """Force the (cached) adjacency build *now*.
 
-        A no-op on the offset-probe path.  On the all-pairs path this
-        forces the (expensive, cached) adjacency build *now* — the parallel
-        executor calls it before forking workers so every worker inherits
-        the warm table instead of each rebuilding it.
+        The parallel executor calls it before forking workers so every
+        worker inherits the warm table instead of each rebuilding it, and
+        the pipeline calls it during the grid phase so the cost is charged
+        where it belongs.
         """
-        if self._use_allpairs:
-            self._ensure_adjacency()
+        self._ensure_adjacency()
 
     def install_adjacency(self, adjacency: Dict[CellCoord, List[CellCoord]]) -> None:
         """Install an externally assembled adjacency map.
@@ -204,15 +286,20 @@ class Grid:
         yielded cell may still turn out to hold no qualifying point.
         """
         cell = tuple(cell)
-        if self._use_allpairs and cell in self._cells:
+        if cell in self._cells:
             if include_self:
                 yield cell
-            yield from self._ensure_adjacency()[cell]
+            adjacency = self._ensure_adjacency()
+            if isinstance(adjacency, _CSRAdjacency):
+                yield from adjacency.row(cell)
+            else:
+                yield from adjacency[cell]
             return
+        # A coordinate with no points has no adjacency row; probe offsets.
         base = np.asarray(cell, dtype=np.int64)
         cells = self._cells
         for off in self._offsets:
-            if not include_self and not off.any():
+            if not off.any():
                 continue
             other = tuple((base + off).tolist())
             if other in cells:
@@ -225,6 +312,51 @@ class Grid:
             return _EMPTY_IDX
         return np.concatenate(blocks)
 
+    def neighbor_cell_pair_arrays(
+        self, subset=None
+    ) -> Tuple[List[CellCoord], np.ndarray, np.ndarray]:
+        """Index-array form of :meth:`neighbor_cell_pairs`.
+
+        Returns ``(keys, i, j)`` where the pairs are
+        ``(keys[i[t]], keys[j[t]])`` — the representation callers want when
+        they post-filter pairs vectorised (e.g. dropping pairs whose
+        endpoints a carried pre-union already connects) instead of paying
+        a Python-level yield per pair.  ``i``-side cells precede their
+        ``j`` partners lexicographically, matching the orientation contract
+        of :meth:`neighbor_cell_pairs`.
+        """
+        cells = self._cells
+        if subset is None:
+            sub_keys = list(cells.keys())
+        else:
+            allowed = set(map(tuple, subset))
+            sub_keys = [c for c in cells if c in allowed]
+        empty = np.empty(0, dtype=np.int64)
+        if len(sub_keys) < 2:
+            return sub_keys, empty, empty
+        if self._use_allpairs:
+            index = {c: t for t, c in enumerate(sub_keys)}
+            adjacency = self._ensure_adjacency()
+            ii: List[int] = []
+            jj: List[int] = []
+            for t, cell in enumerate(sub_keys):
+                for other in adjacency[cell]:
+                    u = index.get(other)
+                    if u is not None and cell < other:
+                        ii.append(t)
+                        jj.append(u)
+            return sub_keys, np.asarray(ii, dtype=np.int64), np.asarray(jj, dtype=np.int64)
+        coords = np.asarray(sub_keys, dtype=np.int64).reshape(len(sub_keys), self.dim)
+        positive = self._offsets[_positive_offset_mask(self._offsets)]
+        i_parts: List[np.ndarray] = []
+        j_parts: List[np.ndarray] = []
+        for i_arr, j_arr in self._iter_offset_hits(coords, positive):
+            i_parts.append(i_arr)
+            j_parts.append(j_arr)
+        if not i_parts:
+            return sub_keys, empty, empty
+        return sub_keys, np.concatenate(i_parts), np.concatenate(j_parts)
+
     def neighbor_cell_pairs(self, subset=None) -> Iterator[Tuple[CellCoord, CellCoord]]:
         """Yield each unordered pair of distinct eps-neighbour cells once.
 
@@ -233,54 +365,79 @@ class Grid:
         Deduplication uses the lexicographic order of the offset vector, so
         the pair ``(c, c + o)`` is emitted only for positive offsets.
         """
-        allowed = None if subset is None else set(map(tuple, subset))
-        pool = self._cells if allowed is None else allowed
-        cells = self._cells
-        if self._use_allpairs:
-            adjacency = self._ensure_adjacency()
-            seen = set()
-            for cell in pool:
-                if cell not in cells:
-                    continue
-                for other in adjacency[cell]:
-                    if allowed is not None and other not in allowed:
-                        continue
-                    pair = (cell, other) if cell < other else (other, cell)
-                    if pair not in seen:
-                        seen.add(pair)
-                        yield pair
-            return
-        positive = [off for off in self._offsets if _is_positive(off)]
-        for cell in pool:
-            if cell not in cells:
-                continue
-            base = np.asarray(cell, dtype=np.int64)
-            for off in positive:
-                other = tuple((base + off).tolist())
-                if other in cells and (allowed is None or other in allowed):
-                    yield cell, other
+        keys, ii, jj = self.neighbor_cell_pair_arrays(subset)
+        for i, j in zip(ii.tolist(), jj.tolist()):
+            yield keys[i], keys[j]
 
 
-def _is_positive(off: np.ndarray) -> bool:
-    """Lexicographically positive offsets select one direction per pair."""
-    for v in off:
-        if v > 0:
-            return True
-        if v < 0:
-            return False
-    return False
+class _CSRAdjacency:
+    """Cell adjacency in compressed-sparse-row form.
+
+    ``indices[indptr[t]:indptr[t + 1]]`` are the positions (into ``keys``)
+    of cell ``keys[t]``'s neighbours, in offset-table order.  Index arrays
+    instead of per-cell Python lists keep the build fully vectorised.
+    """
+
+    __slots__ = ("keys", "indptr", "indices", "index")
+
+    def __init__(
+        self,
+        keys: List[CellCoord],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        index: Dict[CellCoord, int],
+    ) -> None:
+        self.keys = keys
+        self.indptr = indptr
+        self.indices = indices
+        self.index = index
+
+    def row(self, cell: CellCoord) -> Iterator[CellCoord]:
+        t = self.index[cell]
+        keys = self.keys
+        for j in self.indices[self.indptr[t]:self.indptr[t + 1]].tolist():
+            yield keys[j]
+
+
+def _row_view(a: np.ndarray) -> np.ndarray:
+    """A 1-D structured view of a 2-D integer array, one element per row.
+
+    Structured elements compare field by field, i.e. lexicographically by
+    row — the overflow-proof (but slower) fallback for row-wise membership
+    queries when packed int64 keys cannot represent the coordinate range.
+    """
+    a = np.ascontiguousarray(a)
+    return a.view([("", a.dtype)] * a.shape[1]).ravel()
+
+
+def _positive_offset_mask(offsets: np.ndarray) -> np.ndarray:
+    """Mask of lexicographically positive offsets (one direction per pair)."""
+    nonzero = offsets != 0
+    has_any = nonzero.any(axis=1)
+    first = np.argmax(nonzero, axis=1)
+    leading = offsets[np.arange(len(offsets)), first]
+    return has_any & (leading > 0)
 
 
 def _group_by_rows(coords: np.ndarray) -> Dict[CellCoord, np.ndarray]:
-    """Group row indices of an integer matrix by identical rows."""
+    """Group row indices of an integer matrix by identical rows.
+
+    One stable ``np.lexsort`` is the whole bucketing pass: stability makes
+    the indices inside each group come out already ascending (what the
+    old code re-sorted per group), and the group bodies are zero-copy
+    views into the single sorted index array.
+    """
+    if len(coords) == 0:
+        return {}
     order = np.lexsort(coords.T[::-1])
     sorted_coords = coords[order]
     change = np.any(sorted_coords[1:] != sorted_coords[:-1], axis=1)
-    boundaries = np.concatenate([[0], np.nonzero(change)[0] + 1, [len(coords)]])
+    starts = np.concatenate([[0], np.nonzero(change)[0] + 1])
+    bounds = np.append(starts, len(coords))
+    keys = sorted_coords[starts].tolist()
     groups: Dict[CellCoord, np.ndarray] = {}
-    for a, b in zip(boundaries[:-1], boundaries[1:]):
-        key = tuple(int(v) for v in sorted_coords[a])
-        groups[key] = np.sort(order[a:b])
+    for i, key in enumerate(keys):
+        groups[tuple(key)] = order[bounds[i]:bounds[i + 1]]
     return groups
 
 

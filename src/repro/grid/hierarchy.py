@@ -87,7 +87,7 @@ class CountingHierarchy:
         else:
             self.n_levels = 1 + int(np.ceil(np.log2(1.0 / self.rho)))
         self._exact_leaf_size = max(0, int(exact_leaf_size))
-        self._sq_eps = self.eps * self.eps
+        self._sq_eps = dm.sq_radius(self.eps)
         self._sq_outer = (self.eps * (1.0 + self.rho)) ** 2
 
         coords0 = np.floor(points / self.side0).astype(np.int64)

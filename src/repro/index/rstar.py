@@ -176,7 +176,7 @@ class RStarTree:
     def range_query(self, q: np.ndarray, radius: float) -> np.ndarray:
         """Indices of points within Euclidean ``radius`` of ``q``."""
         q = np.asarray(q, dtype=np.float64)
-        limit = radius * radius
+        limit = dm.sq_radius(radius)
         hits: List[int] = []
         stack = [self._root]
         while stack:

@@ -72,7 +72,7 @@ class RTree:
     def range_query(self, q: np.ndarray, radius: float) -> np.ndarray:
         """Indices (into the original array) of points within ``radius`` of ``q``."""
         q = np.asarray(q, dtype=np.float64)
-        limit = radius * radius
+        limit = dm.sq_radius(radius)
         fanout = self._fanout
         top = len(self._levels) - 1
         hits: List[np.ndarray] = []
@@ -99,7 +99,7 @@ class RTree:
     def count_within(self, q: np.ndarray, radius: float, cap: int = -1) -> int:
         """Number of points within ``radius`` of ``q`` (early exit at ``cap``)."""
         q = np.asarray(q, dtype=np.float64)
-        limit = radius * radius
+        limit = dm.sq_radius(radius)
         fanout = self._fanout
         top = len(self._levels) - 1
         total = 0

@@ -42,6 +42,7 @@ from repro import config
 from repro.core.border import assign_borders
 from repro.core.cellgraph import (
     _labels_from_components,
+    apply_preunion,
     approx_components,
     core_cells,
     exact_components,
@@ -266,7 +267,7 @@ def parallel_warm_neighbors(
     if not grid.needs_neighbor_warmup:
         return
     n_workers = effective_workers(cfg, len(grid.points), len(grid))
-    if n_workers <= 1:
+    if n_workers <= 1 or not grid.uses_allpairs_adjacency:
         grid.warm_neighbors()
         return
     _check_guards(deadline, memory, "grid")
@@ -308,17 +309,26 @@ def parallel_label_cores(
     *,
     deadline: Optional[Deadline] = None,
     memory: Optional[MemoryBudget] = None,
+    known_core: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """Phase-2 core determination, sharded over the pool (or serial)."""
+    """Phase-2 core determination, sharded over the pool (or serial).
+
+    ``known_core`` is the monotone-sweep hint of
+    :func:`repro.core.labeling.label_cores`: points already known core skip
+    their counting pass.  It rides in the payload, so pooled shards profit
+    exactly like the serial path.
+    """
     n_workers = effective_workers(cfg, len(grid.points), len(grid))
     if n_workers <= 1:
-        return label_cores(grid, min_pts, deadline=deadline)
+        return label_cores(grid, min_pts, deadline=deadline, known_core=known_core)
     _check_guards(deadline, memory, "cores")
     parallel_warm_neighbors(grid, cfg, deadline=deadline, memory=memory)
     weights = {c: len(idx) for c, idx in grid.cells.items()}
     shards = shard_cells(grid.cells.keys(), n_workers * OVERSHARD, weights)
     payload = _base_payload(grid, "cores", deadline, memory)
     payload["min_pts"] = int(min_pts)
+    if known_core is not None:
+        payload["known_core"] = known_core
     core = np.zeros(len(grid.points), dtype=bool)
     _log.debug("cores phase: %d shards over %d workers", len(shards), n_workers)
 
@@ -341,8 +351,15 @@ def parallel_exact_components(
     *,
     deadline: Optional[Deadline] = None,
     memory: Optional[MemoryBudget] = None,
+    preunion=None,
 ) -> Tuple[np.ndarray, int]:
-    """Phase-3 exact connectivity: per-shard forests + boundary stitching."""
+    """Phase-3 exact connectivity: per-shard forests + boundary stitching.
+
+    ``preunion`` seeds known same-component cell pairs
+    (:func:`repro.core.cellgraph.apply_preunion`) into both the parent's
+    stitching forest and every worker's chunk-local forest, so seeded
+    connectivity short-circuits BCP tests everywhere.
+    """
     return _parallel_components(
         grid,
         core_mask,
@@ -350,6 +367,7 @@ def parallel_exact_components(
         {"edge_rule": "exact", "bcp_strategy": bcp_strategy},
         deadline=deadline,
         memory=memory,
+        preunion=preunion,
     )
 
 
@@ -362,15 +380,29 @@ def parallel_approx_components(
     *,
     deadline: Optional[Deadline] = None,
     memory: Optional[MemoryBudget] = None,
+    preunion=None,
+    structures=None,
 ) -> Tuple[np.ndarray, int]:
-    """Phase-3 rho-approximate connectivity over the pool (or serial)."""
+    """Phase-3 rho-approximate connectivity over the pool (or serial).
+
+    ``preunion`` seeds known same-component pairs; ``structures`` seeds the
+    per-cell Lemma 5 structure map (cells already built are not rebuilt —
+    on the pooled path the map ships in the payload, so workers inherit the
+    warm structures instead of rebuilding them lazily).
+    """
     return _parallel_components(
         grid,
         core_mask,
         cfg,
-        {"edge_rule": "approx", "rho": float(rho), "exact_leaf_size": exact_leaf_size},
+        {
+            "edge_rule": "approx",
+            "rho": float(rho),
+            "exact_leaf_size": exact_leaf_size,
+            "structures": structures,
+        },
         deadline=deadline,
         memory=memory,
+        preunion=preunion,
     )
 
 
@@ -382,13 +414,18 @@ def _parallel_components(
     *,
     deadline: Optional[Deadline],
     memory: Optional[MemoryBudget],
+    preunion=None,
 ) -> Tuple[np.ndarray, int]:
     cells = core_cells(grid, core_mask)
     n_workers = effective_workers(cfg, len(grid.points), len(cells))
     if n_workers <= 1:
         if edge_payload["edge_rule"] == "exact":
             return exact_components(
-                grid, core_mask, edge_payload["bcp_strategy"], deadline=deadline
+                grid,
+                core_mask,
+                edge_payload["bcp_strategy"],
+                deadline=deadline,
+                preunion=preunion,
             )
         return approx_components(
             grid,
@@ -396,15 +433,27 @@ def _parallel_components(
             edge_payload["rho"],
             edge_payload["exact_leaf_size"],
             deadline=deadline,
+            preunion=preunion,
+            structures=edge_payload.get("structures"),
         )
     _check_guards(deadline, memory, "components")
     parallel_warm_neighbors(grid, cfg, deadline=deadline, memory=memory)
 
-    pairs = []
-    for pair in grid.neighbor_cell_pairs(subset=cells.keys()):
-        if deadline is not None:
-            deadline.tick()
-        pairs.append(pair)
+    # Pairs already connected by the pre-union seed never need an edge
+    # test anywhere — drop them before sharding so neither the payload nor
+    # any worker carries them (see cellgraph.candidate_cell_pairs).
+    keys, ii, jj = grid.neighbor_cell_pair_arrays(subset=cells.keys())
+    if deadline is not None:
+        deadline.tick()
+    if preunion and len(ii):
+        seed_forest = KeyedUnionFind(cells.keys())
+        apply_preunion(seed_forest, preunion)
+        seed_root = np.fromiter(
+            (seed_forest.find(c) for c in keys), dtype=np.int64, count=len(keys)
+        )
+        keep = seed_root[ii] != seed_root[jj]
+        ii, jj = ii[keep], jj[keep]
+    pairs = [(keys[i], keys[j]) for i, j in zip(ii.tolist(), jj.tolist())]
     weights = {c: len(idx) for c, idx in cells.items()}
     shards = shard_cells(cells.keys(), n_workers, weights)
     owner = assign_shards(shards)
@@ -423,11 +472,14 @@ def _parallel_components(
     payload = _base_payload(grid, "components", deadline, memory)
     payload["core_mask"] = core_mask
     payload.update(edge_payload)
+    if preunion:
+        payload["preunion"] = list(preunion)
 
     # The stitching pass: one forest over *all* core cells, registered in
     # the same order the serial path uses, so component labels (assigned
     # by first appearance) come out identical.
     uf = KeyedUnionFind(cells.keys())
+    apply_preunion(uf, preunion)
 
     def merge_edges(united) -> None:
         for c1, c2 in united:

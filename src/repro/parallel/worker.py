@@ -64,6 +64,7 @@ def build_context(payload: Dict[str, object], *, in_worker: bool = True) -> Dict
         "edge": None,
         "fault_spec": payload.get("fault_spec"),
         "in_worker": bool(in_worker),
+        "known_core": payload.get("known_core"),
     }
     core_mask = payload.get("core_mask")
     if core_mask is not None:
@@ -72,12 +73,25 @@ def build_context(payload: Dict[str, object], *, in_worker: bool = True) -> Dict
     core_labels = payload.get("core_labels")
     if core_labels is not None:
         ctx["core_labels"] = np.asarray(core_labels, dtype=np.int64)
+    # Monotone-sweep connectivity seed, restricted (as on the parent side)
+    # to pairs whose cells are both core cells of *this* run.
+    preunion = payload.get("preunion")
+    if preunion:
+        cells = ctx["cells"]
+        ctx["preunion"] = [
+            (c1, c2) for c1, c2 in preunion if c1 in cells and c2 in cells
+        ]
     edge_rule = payload.get("edge_rule")
     if edge_rule == "exact":
         ctx["edge"] = exact_edge_predicate(grid, ctx["cells"], payload["bcp_strategy"])
     elif edge_rule == "approx":
+        structures = payload.get("structures")
         ctx["edge"] = approx_edge_predicate(
-            grid, ctx["cells"], payload["rho"], payload.get("exact_leaf_size")
+            grid,
+            ctx["cells"],
+            payload["rho"],
+            payload.get("exact_leaf_size"),
+            structures=dict(structures) if structures else None,
         )
     return ctx
 
@@ -119,7 +133,13 @@ def cores_task(cell_block: Sequence[CellCoord]) -> Tuple[np.ndarray, np.ndarray]
     ctx = _ctx()
     deadline, memory, phase = _guards()
     grid: Grid = ctx["grid"]
-    mask = label_cores(grid, int(ctx["min_pts"]), deadline=deadline, cells=cell_block)
+    mask = label_cores(
+        grid,
+        int(ctx["min_pts"]),
+        deadline=deadline,
+        cells=cell_block,
+        known_core=ctx.get("known_core"),
+    )
     if memory is not None:
         memory.check(phase)
     blocks = [grid.points_in(c) for c in cell_block]
@@ -135,11 +155,18 @@ def edges_task(pairs: Sequence[Pair]) -> List[Pair]:
     the full serial short-circuit).  The emitted subset spans the same
     connectivity as the chunk's true edge set, so the parent's stitching
     pass reconstructs the global components exactly.
+
+    A monotone-sweep ``preunion`` seed (when present) is folded into the
+    chunk-local forest too: pairs its connectivity already covers skip
+    their edge tests and are *not* emitted — sound because the parent
+    seeds its stitching forest with the very same pairs.
     """
     ctx = _ctx()
     deadline, memory, phase = _guards()
     edge = ctx["edge"]
     uf = KeyedUnionFind()
+    for c1, c2 in ctx.get("preunion") or ():
+        uf.union(c1, c2)
     out: List[Pair] = []
     for c1, c2 in pairs:
         if deadline is not None:

@@ -25,12 +25,15 @@ control flow once, and is where the robustness guarantees attach:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.result import Clustering, build_clustering
-from repro.grid.cells import Grid
+from repro.errors import ParameterError
+from repro.grid.cells import CellCoord, Grid
 from repro.parallel.executor import (
     ParallelConfig,
     effective_workers,
@@ -53,6 +56,54 @@ ConnectFn = Callable[
 ]
 
 
+@dataclass
+class PipelineHooks:
+    """Reuse and observation hooks for :func:`run_grid_pipeline`.
+
+    This is the seam :class:`repro.engine.ClusteringEngine` plugs into —
+    every field defaults to "no effect", so a hook-less run is byte-for-byte
+    the classic pipeline.
+
+    Parameters
+    ----------
+    grid:
+        A prebuilt :class:`~repro.grid.cells.Grid` over *exactly* the run's
+        points and ``eps`` (validated); phase 1 adopts it instead of
+        rebuilding.
+    core_mask:
+        A precomputed core mask for *exactly* this ``(eps, min_pts)``;
+        phase 2 adopts it instead of labeling.
+    known_core:
+        Monotone lower bound on the core mask (e.g. the mask of a smaller
+        ``eps``); forwarded to
+        :func:`~repro.parallel.executor.parallel_label_cores`.  Ignored
+        when ``core_mask`` is given.
+    preunion:
+        Cell pairs already known to be in the same component of the
+        core-cell graph (see :func:`repro.core.cellgraph.apply_preunion`).
+        The pipeline only carries this — the algorithm's connect closure
+        consumes it.
+    structures:
+        Warm per-cell Lemma 5 structures for the approximate connect
+        closure; carried like ``preunion``.
+    on_phase:
+        Callback ``(phase_name, value)`` fired after each phase completes
+        with the phase's product (``grid``, ``core_mask``,
+        ``(core_labels, k)``, ``borders``) — the engine's harvesting hook.
+    """
+
+    grid: Optional[Grid] = None
+    core_mask: Optional[np.ndarray] = None
+    known_core: Optional[np.ndarray] = None
+    preunion: Optional[List[Tuple[CellCoord, CellCoord]]] = None
+    structures: Optional[Dict[CellCoord, object]] = None
+    on_phase: Optional[Callable[[str, object], None]] = None
+
+    def emit(self, phase: str, value: object) -> None:
+        if self.on_phase is not None:
+            self.on_phase(phase, value)
+
+
 def run_grid_pipeline(
     pts: np.ndarray,
     eps: float,
@@ -64,19 +115,26 @@ def run_grid_pipeline(
     memory: Optional[MemoryBudget] = None,
     checkpoint: Optional[CheckpointStore] = None,
     parallel: Optional[ParallelConfig] = None,
+    hooks: Optional[PipelineHooks] = None,
 ) -> Clustering:
     """Run the four-phase grid pipeline and assemble the result.
 
     ``meta`` must already contain the algorithm identity and parameters;
     the pipeline adds ``grid_cells``, ``workers`` (the *effective* worker
-    count — 1 when the serial fallback applied) and (when a resume
-    happened) ``resumed_from_phase``.
+    count — 1 when the serial fallback applied), ``phase_seconds`` (the
+    wall-clock spent per phase) and (when a resume happened)
+    ``resumed_from_phase``.
 
     ``parallel`` fans the cores / components / borders phases out over a
     worker pool (serial when ``None``); the requested worker count is part
     of the checkpoint parameters, so a resume never silently mixes shard
     layouts produced under a different parallel configuration.
+
+    ``hooks`` (see :class:`PipelineHooks`) lets a caller donate prebuilt
+    phase products and harvest the run's — the clustering engine's seam.
     """
+    if hooks is None:
+        hooks = PipelineHooks()
     workers = 1 if parallel is None else int(parallel.workers)
     state: Optional[Dict[str, object]] = None
     fingerprint = ""
@@ -101,30 +159,49 @@ def run_grid_pipeline(
     # All four phases run under one ambient supervisor-stats ledger: the
     # parallel executor's retries / quarantines / respawns accumulate here
     # without widening the ConnectFn signature (see repro.parallel.supervisor).
+    phase_seconds: Dict[str, float] = {}
     with collect_stats() as sup_stats:
-        # Phase 1: impose the grid T (deterministic; always rebuilt — it is
-        # the one phase cheaper to recompute than to serialise).
-        if memory is not None:
-            memory.charge_estimate(estimate_grid_bytes(len(pts), pts.shape[1]), "grid")
-        grid = Grid(pts, eps)
-        _log.debug("grid built: %d non-empty cells for %d points", len(grid), len(pts))
+        # Phase 1: impose the grid T (deterministic; rebuilt unless a warm
+        # grid is donated — it is the one phase cheaper to recompute than
+        # to serialise, but free to adopt from a structure cache).
+        mark = perf_counter()
+        if hooks.grid is not None:
+            grid = _adopt_grid(hooks.grid, pts, eps)
+            _log.debug("grid adopted from hooks: %d non-empty cells", len(grid))
+        else:
+            if memory is not None:
+                memory.charge_estimate(estimate_grid_bytes(len(pts), pts.shape[1]), "grid")
+            grid = Grid(pts, eps)
+            _log.debug("grid built: %d non-empty cells for %d points", len(grid), len(pts))
         # On all-pairs grids the adjacency build is the dominant serial cost
         # of a parallel run — shard it over the pool before the phases start
-        # (a no-op on offset-probe grids and under serial fallback).
+        # (a no-op on offset-probe grids, warm grids and serial fallback).
         parallel_warm_neighbors(grid, parallel, deadline=deadline, memory=memory)
         if deadline is not None:
             deadline.check()
         if memory is not None:
             memory.check("grid")
         persist("grid")
+        hooks.emit("grid", grid)
+        phase_seconds["grid"] = perf_counter() - mark
 
         # Phase 2: the labeling process -> core mask.
+        mark = perf_counter()
         if reached("cores"):
             core_mask = np.asarray(state["core_mask"], dtype=bool)
             _log.debug("labeling restored from checkpoint: %d core points", int(core_mask.sum()))
+        elif hooks.core_mask is not None:
+            core_mask = np.asarray(hooks.core_mask, dtype=bool)
+            if core_mask.shape != (len(pts),):
+                raise ParameterError(
+                    f"hooks.core_mask has shape {core_mask.shape}; expected ({len(pts)},)"
+                )
+            _log.debug("labeling adopted from hooks: %d core points", int(core_mask.sum()))
+            persist("cores", core_mask=core_mask)
         else:
             core_mask = parallel_label_cores(
-                grid, min_pts, parallel, deadline=deadline, memory=memory
+                grid, min_pts, parallel,
+                deadline=deadline, memory=memory, known_core=hooks.known_core,
             )
             _log.debug("labeling done: %d core points", int(core_mask.sum()))
             persist("cores", core_mask=core_mask)
@@ -132,8 +209,11 @@ def run_grid_pipeline(
             deadline.check()
         if memory is not None:
             memory.check("cores")
+        hooks.emit("cores", core_mask)
+        phase_seconds["cores"] = perf_counter() - mark
 
         # Phase 3: connect the core-cell graph (Lemma 1 components).
+        mark = perf_counter()
         if reached("components"):
             core_labels = np.asarray(state["core_labels"], dtype=np.int64)
             k = int(state["n_components"])
@@ -146,8 +226,11 @@ def run_grid_pipeline(
             deadline.check()
         if memory is not None:
             memory.check("components")
+        hooks.emit("components", (core_labels, k))
+        phase_seconds["components"] = perf_counter() - mark
 
         # Phase 4: assign border points.
+        mark = perf_counter()
         if reached("borders"):
             borders = dict(state["borders"])
             _log.debug(
@@ -167,9 +250,12 @@ def run_grid_pipeline(
             )
         if memory is not None:
             memory.check("borders")
+        hooks.emit("borders", borders)
+        phase_seconds["borders"] = perf_counter() - mark
 
     meta = dict(meta)
     meta["grid_cells"] = len(grid)
+    meta["phase_seconds"] = phase_seconds
     if parallel is not None and parallel.supervise:
         meta["supervisor"] = sup_stats.as_dict()
     # Record the *effective* worker count: 1 when the serial fallback
@@ -178,3 +264,19 @@ def run_grid_pipeline(
     if state is not None:
         meta["resumed_from_phase"] = str(state["phase"])
     return build_clustering(len(pts), core_mask, core_labels, borders, meta=meta)
+
+
+def _adopt_grid(grid: Grid, pts: np.ndarray, eps: float) -> Grid:
+    """Validate a donated grid against this run's inputs before adopting it."""
+    if grid.eps != float(eps):
+        raise ParameterError(
+            f"hooks.grid was built for eps={grid.eps}; this run uses eps={eps}"
+        )
+    if grid.points.shape != np.shape(pts):
+        raise ParameterError(
+            f"hooks.grid covers points of shape {grid.points.shape}; "
+            f"this run clusters shape {np.shape(pts)}"
+        )
+    if grid.points is not pts and not np.array_equal(grid.points, pts):
+        raise ParameterError("hooks.grid was built over different points")
+    return grid

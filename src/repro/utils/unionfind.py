@@ -96,6 +96,10 @@ class KeyedUnionFind:
         self._uf._count += 1
         return idx
 
+    def find(self, key: Hashable) -> int:
+        """Root id of the set containing ``key`` (must be registered)."""
+        return self._uf.find(self._ids[key])
+
     def union(self, a: Hashable, b: Hashable) -> bool:
         """Merge the sets of keys ``a`` and ``b`` (registering them if new)."""
         return self._uf.union(self.add(a), self.add(b))

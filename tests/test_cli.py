@@ -68,6 +68,53 @@ class TestCluster:
         assert "error" in capsys.readouterr().err
 
 
+class TestEngineAndProfileFlags:
+    def test_engine_cache_run(self, dataset, capsys):
+        code = main([
+            "cluster", dataset, "--eps", "2000", "--min-pts", "5",
+            "--algorithm", "grid", "--engine-cache",
+        ])
+        assert code == 0
+        assert "cluster(s)" in capsys.readouterr().out
+
+    def test_profile_prints_phase_table(self, dataset, capsys):
+        code = main([
+            "cluster", dataset, "--eps", "2000", "--min-pts", "5",
+            "--algorithm", "grid", "--profile",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        for phase in ("grid", "cores", "components", "borders", "total"):
+            assert phase in out
+        assert "share" in out
+
+    def test_profile_with_engine_cache_shows_stats(self, dataset, capsys):
+        code = main([
+            "cluster", dataset, "--eps", "2000", "--min-pts", "5",
+            "--algorithm", "grid", "--engine-cache", "--profile",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cache hits" in out
+        assert "cache misses" in out
+
+    def test_profile_without_grid_pipeline(self, dataset, capsys):
+        code = main([
+            "cluster", dataset, "--eps", "2000", "--min-pts", "5",
+            "--algorithm", "kdd96", "--profile",
+        ])
+        assert code == 0
+        assert "no phase profile" in capsys.readouterr().out
+
+    def test_engine_cache_resilience_conflict_is_3(self, dataset, capsys):
+        code = main([
+            "cluster", dataset, "--eps", "2000", "--min-pts", "5",
+            "--engine-cache", "--resilience",
+        ])
+        assert code == EXIT_CONFIG
+        assert "engine-cache" in capsys.readouterr().err
+
+
 class TestExitCodes:
     """Each failure class maps to its own documented exit code."""
 
@@ -76,6 +123,15 @@ class TestExitCodes:
         code = main(["cluster", dataset, "--eps", "2000", "--min-pts", "5"])
         assert code == EXIT_CONFIG == 3
         assert "REPRO_WORKERS" in capsys.readouterr().err
+
+    def test_bad_chunk_budget_fails_fast(self, dataset, monkeypatch, capsys):
+        # The budget is only consumed inside the chunked kernels, which
+        # small workloads may never reach — the CLI still validates it up
+        # front so a malformed value cannot ride along silently.
+        monkeypatch.setenv("REPRO_CHUNK_BUDGET", "bogus")
+        code = main(["cluster", dataset, "--eps", "2000", "--min-pts", "5"])
+        assert code == EXIT_CONFIG == 3
+        assert "REPRO_CHUNK_BUDGET" in capsys.readouterr().err
 
     def test_data_error_is_4(self, tmp_path, capsys):
         path = str(tmp_path / "dirty.csv")

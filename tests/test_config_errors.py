@@ -128,6 +128,31 @@ class TestStrictEnvParsing:
         monkeypatch.setenv("REPRO_SHARD_TIMEOUT", "1.5")
         assert config.shard_timeout() == 1.5
 
+    def test_chunk_budget_default_and_valid(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHUNK_BUDGET", raising=False)
+        assert config.chunk_budget() == 4_000_000
+        monkeypatch.setenv("REPRO_CHUNK_BUDGET", "1000")
+        assert config.chunk_budget() == 1000
+
+    @pytest.mark.parametrize("value", ["abc", "2.5", "0", "-7"])
+    def test_chunk_budget_invalid(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_CHUNK_BUDGET", value)
+        with pytest.raises(ConfigError, match="REPRO_CHUNK_BUDGET"):
+            config.chunk_budget()
+
+    def test_chunk_budget_steers_distance_chunking(self, monkeypatch):
+        from repro.geometry import distance as dm
+
+        monkeypatch.setenv("REPRO_CHUNK_BUDGET", "10")
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(23, 2))
+        b = rng.normal(size=(4, 2))
+        chunks = list(dm.iter_chunked_sq_dists(a, b))
+        assert len(chunks) > 1  # tiny budget forces many chunks
+        full = dm.pairwise_sq_dists(a, b)
+        for rows, block in chunks:
+            assert np.allclose(block, full[rows])
+
     def test_config_error_is_repro_and_value_error(self):
         assert issubclass(ConfigError, ReproError)
         assert issubclass(ConfigError, ValueError)

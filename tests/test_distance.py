@@ -41,6 +41,16 @@ class TestSqDistsToPoint:
         assert out.shape == (1,)
         assert out[0] == 0.0
 
+    def test_integer_inputs_promoted_to_float64(self):
+        # Regression: integer arrays used to flow through un-promoted, so
+        # the einsum accumulated in the integer dtype and large coordinates
+        # overflowed (int32 wraps past ~46k on squared distances).
+        pts = np.array([[60_000, 0], [0, 0]], dtype=np.int32)
+        q = np.array([0, 0], dtype=np.int32)
+        out = dm.sq_dists_to_point(pts, q)
+        assert out.dtype == np.float64
+        assert out.tolist() == [3.6e9, 0.0]
+
 
 class TestPairwise:
     def test_matches_naive(self):

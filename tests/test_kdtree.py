@@ -67,6 +67,43 @@ class TestRangeQuery:
         assert len(tree.range_query(np.array([1e6, 1e6]), 1.0)) == 0
 
 
+class TestRangeQueryBatch:
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    @pytest.mark.parametrize("leaf_size", [1, 4, 32])
+    def test_matches_single_queries(self, d, leaf_size):
+        rng = np.random.default_rng(d * 100 + leaf_size)
+        pts = rng.uniform(0, 100, size=(300, d))
+        tree = KDTree(pts, leaf_size=leaf_size)
+        queries = rng.uniform(0, 100, size=(25, d))
+        r = 20.0
+        batch = tree.range_query_batch(queries, r)
+        assert len(batch) == len(queries)
+        for q, hits in zip(queries, batch):
+            assert hits.tolist() == tree.range_query(q, r).tolist()
+
+    def test_empty_batch(self):
+        tree = KDTree(np.random.default_rng(0).normal(size=(20, 2)))
+        assert tree.range_query_batch(np.empty((0, 2)), 1.0) == []
+
+    def test_rejects_1d_queries(self):
+        from repro.errors import DataError
+
+        tree = KDTree(np.random.default_rng(0).normal(size=(20, 2)))
+        with pytest.raises(DataError):
+            tree.range_query_batch(np.zeros(2), 1.0)
+
+    def test_large_coordinates_stay_exact(self):
+        # The batched leaf kernel must use the cancellation-safe diff form:
+        # coordinates around 1e8 would flip boundary verdicts under the
+        # expanded |a|^2 + |b|^2 - 2ab form.
+        base = 1e8
+        pts = np.array([[base, base], [base + 1.0, base], [base + 3.0, base]])
+        tree = KDTree(pts, leaf_size=1)
+        queries = np.array([[base, base]])
+        (hits,) = tree.range_query_batch(queries, 1.0)
+        assert hits.tolist() == tree.range_query(queries[0], 1.0).tolist() == [0, 1]
+
+
 class TestCountWithin:
     def test_matches_range_query(self):
         rng = np.random.default_rng(5)
