@@ -3,7 +3,12 @@
 Identical to the exact grid algorithm except for the core-cell graph: the
 edge between two eps-neighbouring core cells is decided by approximate
 range-count queries (Lemma 5 structures built on each cell's core points)
-under the paper's yes / no / don't-care contract.
+under the paper's yes / no / don't-care contract.  The structures are the
+flat batched kernel (:class:`repro.grid.FlatHierarchy`): each edge test is
+one batched query over all of the probing cell's core points, and warm
+structures donated through ``hooks.structures`` (the engine's cache seam)
+are reused as-is — serial, parallel and engine-cached runs all answer
+through the same kernel.
 
 The output is a legal solution to Problem 2 and therefore enjoys the
 sandwich guarantee of Theorem 3: every exact-DBSCAN(eps) cluster is

@@ -150,11 +150,16 @@ def _cmd_cluster(args) -> int:
         if phase_seconds:
             from repro.evaluation.timing import format_profile
 
+            extra = {}
             cache_stats = result.meta.get("engine_cache")
-            extra = None
             if cache_stats:
-                extra = {f"cache {k}": v for k, v in cache_stats.items()}
-            print(format_profile(phase_seconds, extra=extra))
+                extra.update({f"cache {k}": v for k, v in cache_stats.items()})
+            kernel_counters = result.meta.get("kernel_counters")
+            if kernel_counters:
+                extra.update(
+                    {f"kernel {k}": v for k, v in sorted(kernel_counters.items())}
+                )
+            print(format_profile(phase_seconds, extra=extra or None))
         else:
             print(f"no phase profile: algorithm {args.algorithm!r} does not "
                   "run the grid pipeline")

@@ -31,7 +31,7 @@ from repro.errors import ParameterError
 from repro.geometry import distance as dm
 from repro.geometry.bcp import bcp_within
 from repro.grid.cells import CellCoord, Grid
-from repro.grid.hierarchy import CountingHierarchy
+from repro.grid.hierarchy import FlatHierarchy
 from repro.index.kdtree import KDTree
 from repro.utils.unionfind import KeyedUnionFind
 
@@ -110,15 +110,18 @@ def approx_edge_predicate(
     cells: Dict[CellCoord, np.ndarray],
     rho: float,
     exact_leaf_size: int | None = None,
-    structures: Optional[Dict[CellCoord, CountingHierarchy]] = None,
+    structures: Optional[Dict[CellCoord, FlatHierarchy]] = None,
 ):
     """Build the rho-approximate edge test ``edge(c1, c2) -> bool``.
 
     Queries the Lemma 5 structure of ``c2`` with the core points of ``c1``
-    under the paper's yes / no / don't-care contract.  The answer for an
-    *oriented* pair is deterministic (the structure build is), which is why
-    serial and parallel runs agree exactly as long as both evaluate pairs
-    in the orientation :meth:`Grid.neighbor_cell_pairs` emits them.
+    under the paper's yes / no / don't-care contract — *all* of ``c1``'s
+    core points in a single batched :meth:`FlatHierarchy.any_contains`
+    call, which short-circuits the moment any query is decided yes.  The
+    answer for an *oriented* pair is deterministic (the structure build
+    is), which is why serial and parallel runs agree exactly as long as
+    both evaluate pairs in the orientation
+    :meth:`Grid.neighbor_cell_pairs` emits them.
 
     ``structures`` optionally seeds the per-cell structure cache (the
     serial path pre-builds all of them under the deadline); missing entries
@@ -127,15 +130,15 @@ def approx_edge_predicate(
     """
     points = grid.points
     kwargs = {} if exact_leaf_size is None else {"exact_leaf_size": exact_leaf_size}
-    cache: Dict[CellCoord, CountingHierarchy] = {} if structures is None else structures
+    cache: Dict[CellCoord, FlatHierarchy] = {} if structures is None else structures
 
     def edge(c1: CellCoord, c2: CellCoord) -> bool:
         structure = cache.get(c2)
         if structure is None:
-            structure = cache[c2] = CountingHierarchy(
+            structure = cache[c2] = FlatHierarchy(
                 points[cells[c2]], grid.eps, rho, **kwargs
             )
-        return any(structure.contains_any(p) for p in points[cells[c1]])
+        return structure.any_contains(points[cells[c1]])
 
     return edge
 
@@ -232,13 +235,13 @@ def approx_components(
     *,
     deadline: Optional["Deadline"] = None,
     preunion: Optional[List[Tuple[CellCoord, CellCoord]]] = None,
-    structures: Optional[Dict[CellCoord, CountingHierarchy]] = None,
+    structures: Optional[Dict[CellCoord, FlatHierarchy]] = None,
 ) -> Tuple[np.ndarray, int]:
     """Connected components of the rho-approximate graph ``G``.
 
     For every eps-neighbouring pair of core cells, queries the Lemma 5
-    structure of one cell with the core points of the other; a non-zero
-    (approximate) count adds the edge.  The resulting components satisfy
+    structure of one cell with *all* the core points of the other in one
+    batched call; a yes adds the edge.  The resulting components satisfy
     Definition 5 (see the correctness argument in Section 4.4).
 
     ``preunion`` seeds known-true edges (:func:`apply_preunion`);
@@ -258,7 +261,7 @@ def approx_components(
             continue
         if deadline is not None:
             deadline.tick()
-        structures[cell] = CountingHierarchy(points[idx], grid.eps, rho, **kwargs)
+        structures[cell] = FlatHierarchy(points[idx], grid.eps, rho, **kwargs)
     edge = approx_edge_predicate(
         grid, cells, rho, exact_leaf_size, structures=structures
     )

@@ -52,6 +52,13 @@ def estimate_structure_bytes(value: object) -> int:
     points = getattr(value, "points", None)
     if points is not None and hasattr(value, "eps") and hasattr(value, "cells"):
         return estimate_grid_bytes(len(points), points.shape[1])
+    # Flat Lemma 5 hierarchies account for their own arrays exactly.  This
+    # check must precede the generic points-array branch below — the flat
+    # structure also exposes ``points``, but its footprint is its CSR
+    # arrays, not a multiple of the point block.
+    nbytes = getattr(value, "nbytes", None)
+    if nbytes is not None and not isinstance(value, np.ndarray):
+        return int(nbytes) + 512
     # Spatial indexes (KDTree / RTree / RStarTree) keep a point reference
     # plus node bookkeeping of the same order.
     if points is not None and isinstance(points, np.ndarray):

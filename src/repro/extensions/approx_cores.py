@@ -27,17 +27,18 @@ from repro.core.cellgraph import approx_components
 from repro.core.params import ApproxParams
 from repro.core.result import Clustering, build_clustering
 from repro.grid.cells import Grid
-from repro.grid.hierarchy import CountingHierarchy
+from repro.grid.hierarchy import FlatHierarchy
 from repro.utils.validation import as_points
 
 
 def approx_core_mask(points: np.ndarray, eps: float, min_pts: int, rho: float) -> np.ndarray:
-    """Approximate core labeling via one whole-dataset Lemma 5 structure."""
-    structure = CountingHierarchy(points, eps, rho)
-    mask = np.empty(len(points), dtype=bool)
-    for i, p in enumerate(points):
-        mask[i] = structure.count(p) >= min_pts
-    return mask
+    """Approximate core labeling via one whole-dataset Lemma 5 structure.
+
+    All ``n`` core-ness tests resolve through a single batched
+    :meth:`FlatHierarchy.count_many` call.
+    """
+    structure = FlatHierarchy(points, eps, rho)
+    return structure.count_many(points) >= min_pts
 
 
 def approx_dbscan_full(

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.errors import DataError, ParameterError
 from repro.geometry import distance as dm
+from repro.grid import counters
 from repro.index.kdtree import KDTree
 
 
@@ -88,13 +89,42 @@ def bcp_within(
 ) -> bool:
     """Decision version: is there a pair within distance ``eps``?
 
-    For the ``brute`` path this short-circuits on the first qualifying chunk,
-    which in clustered data almost always fires immediately.
+    Every strategy terminates early here: the ``brute`` path short-circuits
+    on the first qualifying chunk (in clustered data that almost always
+    fires immediately), and the ``kdtree`` path passes
+    ``bound_sq = sq_radius(eps)`` into :meth:`KDTree.nearest` — subtrees
+    that cannot beat the bound are pruned and the scan returns on the
+    first point found within ``eps``, instead of computing the full BCP
+    and only then comparing.  ``auto`` resolves through
+    :func:`_pick_strategy`, so large instances get the short-circuiting
+    kd-tree path.  Only ``divide2d`` still computes the full BCP (its
+    recursion offers no per-pair exit).
     """
     a = np.asarray(a, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
-    if strategy in ("auto", "brute"):
+    if strategy not in _STRATEGIES:
+        raise ParameterError(f"unknown BCP strategy {strategy!r}; choose from {_STRATEGIES}")
+    if strategy == "auto":
+        strategy = _pick_strategy(a, b)
+    if strategy == "brute":
         return dm.any_within(a, b, eps)
+    if strategy == "kdtree":
+        if len(a) == 0 or len(b) == 0:
+            raise DataError("BCP inputs must be non-empty")
+        if len(a) <= len(b):
+            small, large = a, b
+        else:
+            small, large = b, a
+        tree = KDTree(large)
+        sq_eps = dm.sq_radius(eps)
+        for i, p in enumerate(small):
+            j, _sq = tree.nearest(p, bound_sq=sq_eps)
+            if j >= 0:
+                counters.add("bcp_early_exit")
+                counters.add("bcp_decision_queries", i + 1)
+                return True
+        counters.add("bcp_decision_queries", len(small))
+        return False
     d = bcp(a, b, strategy=strategy).distance
     return d * d <= dm.sq_radius(eps)
 

@@ -1,6 +1,12 @@
-"""Grid substrates: the cell grid T and the Lemma 5 counting hierarchy."""
+"""Grid substrates: the cell grid T and the Lemma 5 counting hierarchies."""
 
 from repro.grid.cells import Grid, default_side, neighbor_offsets
-from repro.grid.hierarchy import CountingHierarchy
+from repro.grid.hierarchy import CountingHierarchy, FlatHierarchy
 
-__all__ = ["Grid", "CountingHierarchy", "default_side", "neighbor_offsets"]
+__all__ = [
+    "Grid",
+    "CountingHierarchy",
+    "FlatHierarchy",
+    "default_side",
+    "neighbor_offsets",
+]

@@ -1,0 +1,47 @@
+"""Lightweight kernel performance counters.
+
+The batched Lemma 5 kernel (:class:`repro.grid.hierarchy.FlatHierarchy`)
+and the early-exit BCP decision path (:func:`repro.geometry.bcp.bcp_within`)
+report how much work they actually did — queries batched, frontier pairs
+visited, prune / bulk-add / leaf resolutions, BCP early exits — through
+this process-global registry.  The grid pipeline snapshots the registry
+around each run and publishes the delta under ``meta["kernel_counters"]``,
+which the CLI's ``--profile`` flag prints.
+
+The counters are advisory observability, not accounting: increments happen
+under the GIL (plain dict updates, no lock), and worker *processes*
+accumulate into their own copies, so a parallel run's parent-side delta
+only covers the work the parent did itself.  Costs stay negligible — a
+handful of dict updates per *batch*, never per point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+_COUNTS: Dict[str, int] = {}
+
+
+def add(name: str, value: int = 1) -> None:
+    """Increment counter ``name`` by ``value`` (creating it at zero)."""
+    _COUNTS[name] = _COUNTS.get(name, 0) + int(value)
+
+
+def snapshot() -> Dict[str, int]:
+    """A point-in-time copy of every counter."""
+    return dict(_COUNTS)
+
+
+def delta_since(before: Dict[str, int]) -> Dict[str, int]:
+    """Counters that moved since ``before`` (a :func:`snapshot`), as deltas."""
+    out: Dict[str, int] = {}
+    for name, value in _COUNTS.items():
+        moved = value - before.get(name, 0)
+        if moved:
+            out[name] = moved
+    return out
+
+
+def reset() -> None:
+    """Zero every counter (test isolation helper)."""
+    _COUNTS.clear()

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.core.result import Clustering, build_clustering
 from repro.errors import ParameterError
+from repro.grid import counters
 from repro.grid.cells import CellCoord, Grid
 from repro.parallel.executor import (
     ParallelConfig,
@@ -160,6 +161,7 @@ def run_grid_pipeline(
     # parallel executor's retries / quarantines / respawns accumulate here
     # without widening the ConnectFn signature (see repro.parallel.supervisor).
     phase_seconds: Dict[str, float] = {}
+    counters_before = counters.snapshot()
     with collect_stats() as sup_stats:
         # Phase 1: impose the grid T (deterministic; rebuilt unless a warm
         # grid is donated — it is the one phase cheaper to recompute than
@@ -256,6 +258,11 @@ def run_grid_pipeline(
     meta = dict(meta)
     meta["grid_cells"] = len(grid)
     meta["phase_seconds"] = phase_seconds
+    # Kernel work this run triggered in this process (parallel runs only
+    # see the parent's share — worker processes keep their own registries).
+    kernel_counters = counters.delta_since(counters_before)
+    if kernel_counters:
+        meta["kernel_counters"] = kernel_counters
     if parallel is not None and parallel.supervise:
         meta["supervisor"] = sup_stats.as_dict()
     # Record the *effective* worker count: 1 when the serial fallback

@@ -7,7 +7,10 @@ from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.errors import DataError, ParameterError
+from repro.geometry import distance as dm
 from repro.geometry.bcp import bcp, bcp_within
+from repro.grid import counters
+from repro.index.kdtree import KDTree
 
 
 def naive_bcp(a, b):
@@ -159,3 +162,104 @@ def test_property_all_strategies_match_naive(a, b):
 def test_property_kdtree_matches_naive_4d(a, b):
     expected, _ = naive_bcp(a, b)
     assert bcp(a, b, strategy="kdtree").distance == pytest.approx(expected, abs=1e-9)
+
+
+class TestEarlyExit:
+    """Regressions for the decision version's early termination."""
+
+    def _counting_tree(self, points, monkeypatch):
+        """A KDTree whose leaf distance evaluations are counted."""
+        calls = {"n": 0}
+        real = dm.sq_dists_to_point
+
+        def counting(pts, q):
+            calls["n"] += 1
+            return real(pts, q)
+
+        import repro.index.kdtree as kdtree_mod
+
+        monkeypatch.setattr(kdtree_mod.dm, "sq_dists_to_point", counting)
+        return KDTree(points), calls
+
+    def test_nearest_bound_sq_is_true_early_exit(self, monkeypatch):
+        # Points on a circle around the query: the unbounded search must
+        # refine through many leaves (the splits pass near the centre, so
+        # box lower bounds stay small), while a tight bound prunes every
+        # node whose box cannot beat it — down to the handful of leaves on
+        # the query's own split path.
+        angles = np.linspace(0.0, 2 * np.pi, 512, endpoint=False)
+        points = 100.0 * np.column_stack([np.cos(angles), np.sin(angles)])
+        q = np.zeros(2)
+
+        tree, calls = self._counting_tree(points, monkeypatch)
+        idx, sq = tree.nearest(q)
+        assert idx >= 0 and sq == pytest.approx(100.0 ** 2)
+        unbounded = calls["n"]
+
+        calls["n"] = 0
+        idx, sq = tree.nearest(q, bound_sq=1e-9)
+        assert idx == -1 and sq == 1e-9  # nothing beats the bound
+        bounded = calls["n"]
+        assert bounded < unbounded, (
+            "bound_sq must prune the search, not just filter the result"
+        )
+
+    def test_nearest_with_bound_returns_hit_within_eps(self):
+        rng = np.random.default_rng(4)
+        points = rng.uniform(0.0, 100.0, size=(200, 3))
+        tree = KDTree(points)
+        q = points[17] + 0.05
+        idx, sq = tree.nearest(q, bound_sq=dm.sq_radius(1.0))
+        assert idx >= 0
+        assert sq <= dm.sq_radius(1.0)
+
+    def test_bcp_within_kdtree_stops_on_first_hit(self):
+        # The first small-set point has a partner within eps; the kdtree
+        # decision path must answer after that one query, not after
+        # computing the full BCP over all points.
+        a = np.vstack([
+            np.array([[0.0, 0.0]]),
+            np.random.default_rng(1).uniform(50.0, 60.0, size=(30, 2)),
+        ])
+        b = np.vstack([
+            np.array([[0.5, 0.0]]),
+            np.random.default_rng(2).uniform(80.0, 90.0, size=(40, 2)),
+        ])
+        before = counters.snapshot()
+        assert bcp_within(a, b, eps=1.0, strategy="kdtree")
+        delta = counters.delta_since(before)
+        assert delta.get("bcp_early_exit") == 1
+        assert delta.get("bcp_decision_queries") == 1
+
+    def test_bcp_within_kdtree_negative_answers_all_queries(self):
+        rng = np.random.default_rng(3)
+        a = rng.uniform(0.0, 10.0, size=(12, 2))
+        b = rng.uniform(100.0, 110.0, size=(20, 2))
+        before = counters.snapshot()
+        assert not bcp_within(a, b, eps=1.0, strategy="kdtree")
+        delta = counters.delta_since(before)
+        assert "bcp_early_exit" not in delta
+        assert delta.get("bcp_decision_queries") == len(a)
+
+    def test_bcp_within_auto_large_uses_short_circuit(self):
+        # Above the brute threshold, auto resolves to the kd-tree decision
+        # path (visible through its counters) and still answers correctly.
+        rng = np.random.default_rng(5)
+        a = rng.uniform(0.0, 100.0, size=(600, 2))
+        b = np.vstack([
+            rng.uniform(0.0, 100.0, size=(600, 2)),
+            a[:1] + 0.01,
+        ])
+        assert len(a) * len(b) > 250_000
+        before = counters.snapshot()
+        assert bcp_within(a, b, eps=0.5)
+        delta = counters.delta_since(before)
+        assert delta.get("bcp_early_exit", 0) >= 1
+
+    def test_bcp_within_rejects_unknown_strategy(self):
+        with pytest.raises(ParameterError):
+            bcp_within(np.zeros((1, 2)), np.zeros((1, 2)), 1.0, strategy="nope")
+
+    def test_bcp_within_kdtree_rejects_empty(self):
+        with pytest.raises(DataError):
+            bcp_within(np.empty((0, 2)), np.zeros((1, 2)), 1.0, strategy="kdtree")
