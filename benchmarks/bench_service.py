@@ -1,0 +1,150 @@
+"""Service front-end overhead: the async door must stay cheap.
+
+Run one clustering through the full service path — admission, coalescing
+map, executor hop, response serialization — and compare against calling
+the same warm :class:`~repro.engine.ClusteringEngine` directly.  The
+difference is the price of clustering-as-a-service, and it must stay a
+small constant per request (it is serialization plus event-loop
+bookkeeping, independent of dataset size), not a multiple of the
+clustering itself.
+
+A second measurement drives the coalescing path: a burst of identical
+concurrent requests must execute the engine exactly once and finish in
+roughly one computation's wall time, not N of them.
+
+Run standalone::
+
+    python -m benchmarks.bench_service --smoke --json BENCH_service.json
+
+or via pytest like the other benches (the pytest path uses the smoke
+config).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+
+from repro.data import seed_spreader
+from repro.engine import ClusteringEngine
+from repro.service import AdmissionPolicy, ServiceClient
+
+from . import config as cfg
+
+#: Acceptable median per-request service overhead (seconds).  The service
+#: adds serialization + a thread/loop round trip; on the smoke workload
+#: that is milliseconds, and CI boxes get generous headroom.
+OVERHEAD_BUDGET_S = 0.25
+
+#: Identical concurrent requests in the coalescing burst.
+BURST = 16
+
+FULL_CONFIG = ("full", 20_000, 3, 10)
+SMOKE_CONFIG = ("smoke", 4_000, 3, 10)
+
+
+def measure(config, report=print):
+    name, n, d, repeats = config
+    points = seed_spreader(n, d, seed=cfg.SEED + d).points
+    eps, min_pts = cfg.DEFAULT_EPS, cfg.MINPTS
+
+    engine = ClusteringEngine(points)
+    engine.dbscan(eps, min_pts)  # warm the structures once
+
+    def direct():
+        return engine.dbscan(eps, min_pts)
+
+    with ServiceClient(policy=AdmissionPolicy(max_queue=64)) as client:
+        client.register("bench", points)
+        client.cluster("bench", eps, min_pts)  # warm the service engine
+
+        direct_times, service_times = [], []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            direct()
+            direct_times.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            client.cluster("bench", eps, min_pts)
+            service_times.append(time.perf_counter() - t0)
+
+        service_engine = client.service.registry.get("bench").engine
+        runs_before = service_engine.runs_executed
+        t0 = time.perf_counter()
+        burst = client.cluster_many(
+            [{"dataset": "bench", "eps": eps, "min_pts": min_pts}] * BURST,
+            return_exceptions=False,
+        )
+        burst_s = time.perf_counter() - t0
+        burst_runs = service_engine.runs_executed - runs_before
+        stats_snapshot = client.stats()
+
+    direct_s = statistics.median(direct_times)
+    service_s = statistics.median(service_times)
+    overhead_s = service_s - direct_s
+    stats = {
+        "config": name,
+        "n": n,
+        "d": d,
+        "repeats": repeats,
+        "direct_ms": direct_s * 1e3,
+        "service_ms": service_s * 1e3,
+        "overhead_ms": overhead_s * 1e3,
+        "ratio": service_s / direct_s if direct_s else float("inf"),
+        "burst_size": BURST,
+        "burst_runs": burst_runs,
+        "burst_ms": burst_s * 1e3,
+        "burst_per_request_ms": burst_s / BURST * 1e3,
+        "coalesced": stats_snapshot["coalesced"],
+    }
+    report(f"service overhead — SS{d}D, n={n}, eps={eps:g}, MinPts={min_pts}, "
+           f"median of {repeats} warm requests")
+    report(f"  direct engine call : {stats['direct_ms']:8.2f} ms")
+    report(f"  through the service: {stats['service_ms']:8.2f} ms")
+    report(f"  overhead           : {stats['overhead_ms']:8.2f} ms "
+           f"(budget {OVERHEAD_BUDGET_S * 1e3:.0f} ms)")
+    report(f"coalescing burst — {BURST} identical concurrent requests")
+    report(f"  engine executions  : {burst_runs} (must be 1)")
+    report(f"  burst wall time    : {stats['burst_ms']:8.2f} ms "
+           f"({stats['burst_per_request_ms']:.2f} ms/request)")
+    assert len(burst) == BURST
+    return stats
+
+
+def test_service_overhead_smoke(report):
+    """CI smoke: bounded per-request overhead, exactly-once coalescing."""
+    stats = measure(SMOKE_CONFIG, report)
+    assert stats["overhead_ms"] < OVERHEAD_BUDGET_S * 1e3, (
+        f"service adds {stats['overhead_ms']:.1f} ms per request "
+        f"(> {OVERHEAD_BUDGET_S * 1e3:.0f} ms); the front-end has regressed"
+    )
+    assert stats["burst_runs"] == 1, (
+        f"{stats['burst_size']} identical concurrent requests ran the "
+        f"engine {stats['burst_runs']} times; coalescing has regressed"
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the CI-sized config instead of the full one")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the measurements to PATH as JSON")
+    args = parser.parse_args(argv)
+    config = SMOKE_CONFIG if args.smoke else FULL_CONFIG
+    stats = measure(config)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(stats, fh, indent=2)
+        print(f"wrote {args.json}")
+    ok = (stats["overhead_ms"] < OVERHEAD_BUDGET_S * 1e3
+          and stats["burst_runs"] == 1)
+    if not ok:
+        print(f"FAIL: overhead {stats['overhead_ms']:.1f} ms or "
+              f"burst executions {stats['burst_runs']} out of budget")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,10 @@ legal-rho
     Compute the maximum legal rho at one eps (the Figure 10 quantity).
 collapse
     Find the dataset's collapsing radius (Section 5.1).
+serve
+    Run the clustering service: line-delimited JSON requests over stdio
+    (default) or localhost TCP, with admission control, request
+    coalescing and graceful degradation (see docs/SERVICE.md).
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ from repro.errors import (
     DataError,
     MemoryBudgetExceeded,
     ReproError,
+    ServiceError,
     TimeoutExceeded,
     WorkerPoolError,
 )
@@ -50,6 +55,7 @@ EXIT_CONFIG = 3  # invalid configuration (flags or REPRO_* environment)
 EXIT_DATA = 4  # unreadable or invalid input data
 EXIT_BUDGET = 5  # time or memory budget exhausted
 EXIT_POOL = 6  # worker pool failed beyond the supervisor's recovery budget
+EXIT_SERVICE = 7  # service refused or lost the request (overload, quarantine)
 
 
 def _parallel_workers(args):
@@ -246,6 +252,57 @@ def _cmd_collapse(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service import AdmissionPolicy, ClusteringService, DatasetRegistry
+
+    policy = AdmissionPolicy(
+        max_queue=args.max_queue,
+        max_concurrency=args.max_concurrency,
+        default_time_budget=args.time_budget,
+        default_rho=args.rho,
+        sample_size=args.sample_size,
+        memory_budget_mb=args.memory_budget_mb,
+        retry_attempts=args.retry_attempts,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+    )
+    registry = DatasetRegistry(
+        tenant_quota_mb=args.tenant_quota_mb, workers=args.workers
+    )
+    service = ClusteringService(registry, policy)
+    for spec in args.dataset or ():
+        name, _, path = spec.partition("=")
+        if not name or not path:
+            raise ConfigError(f"--dataset takes NAME=PATH; got {spec!r}")
+        info = service.register(name, path=path, on_bad_rows=args.on_bad_rows)
+        print(
+            f"registered dataset {name!r}: {info['n']} x {info['d']} points",
+            file=sys.stderr,
+        )
+
+    async def run_tcp() -> None:
+        server = await service.serve_tcp(args.host, args.port)
+        sockname = server.sockets[0].getsockname()
+        # The banner goes to stderr so stdout stays a pure response
+        # stream if anyone pipes it; tests parse the port from it.
+        print(f"serving on {sockname[0]}:{sockname[1]}", file=sys.stderr, flush=True)
+        async with server:
+            await service.shutdown_event().wait()
+
+    try:
+        if args.port is not None:
+            asyncio.run(run_tcp())
+        else:
+            asyncio.run(service.serve_stdio())
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        service.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-dbscan",
@@ -349,6 +406,56 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(lr, with_algorithm=False)
     lr.set_defaults(func=_cmd_legal_rho)
 
+    srv = sub.add_parser(
+        "serve",
+        help="serve clustering requests (line-delimited JSON, stdio or TCP)",
+    )
+    srv.add_argument("--port", type=int, default=None,
+                     help="listen on localhost TCP instead of stdio "
+                          "(0 = pick a free port; the bound address is "
+                          "printed to stderr)")
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="TCP bind address (default: localhost only)")
+    srv.add_argument("--dataset", action="append", metavar="NAME=PATH",
+                     help="pre-register a dataset at startup (repeatable)")
+    srv.add_argument("--on-bad-rows", dest="on_bad_rows",
+                     choices=data_io.BAD_ROW_MODES, default="raise",
+                     help="bad-row policy for --dataset files")
+    srv.add_argument("--max-queue", dest="max_queue", type=int, default=32,
+                     help="outstanding-request bound; excess requests are "
+                          "shed with a structured overload error")
+    srv.add_argument("--max-concurrency", dest="max_concurrency", type=int,
+                     default=2, help="engine executions running at once")
+    srv.add_argument("--time-budget", dest="time_budget", type=float,
+                     default=None,
+                     help="default per-request deadline in seconds")
+    srv.add_argument("--memory-budget-mb", dest="memory_budget_mb", type=float,
+                     default=None,
+                     help="service RSS budget; high memory pressure degrades "
+                          "requests to the sampled tier")
+    srv.add_argument("--rho", type=float, default=config.DEFAULT_RHO,
+                     help="rho used when the ladder degrades an exact request")
+    srv.add_argument("--sample-size", dest="sample_size", type=int,
+                     default=2000, help="point budget of the sampled tier")
+    srv.add_argument("--tenant-quota-mb", dest="tenant_quota_mb", type=float,
+                     default=None,
+                     help="per-tenant structure-cache byte quota in MB")
+    srv.add_argument("--retry-attempts", dest="retry_attempts", type=int,
+                     default=2,
+                     help="dispatch attempts per execution on transient "
+                          "worker-pool failures")
+    srv.add_argument("--breaker-threshold", dest="breaker_threshold", type=int,
+                     default=3,
+                     help="consecutive infrastructure failures that "
+                          "quarantine a dataset")
+    srv.add_argument("--breaker-cooldown", dest="breaker_cooldown", type=float,
+                     default=30.0,
+                     help="seconds before a quarantined dataset gets a "
+                          "half-open probe")
+    srv.add_argument("--workers", type=int, default=None,
+                     help="worker processes per engine execution")
+    srv.set_defaults(func=_cmd_serve)
+
     col = sub.add_parser("collapse", help="find the collapsing radius")
     col.add_argument("input")
     col.add_argument("--min-pts", dest="min_pts", type=int, default=config.PAPER_MINPTS)
@@ -377,6 +484,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     - ``6`` — the parallel worker pool failed beyond the supervisor's
       retry / respawn budgets with quarantine disabled
       (:class:`~repro.errors.WorkerPoolError`).
+    - ``7`` — the clustering service refused or lost the request:
+      load shedding (:class:`~repro.errors.ServiceOverloadError`), an
+      open circuit breaker
+      (:class:`~repro.errors.DatasetQuarantinedError`), or an unknown
+      dataset (:class:`~repro.errors.UnknownDatasetError`).  Requests
+      answered over the wire carry the same taxonomy as structured
+      ``error.code`` fields instead of exit codes.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -399,6 +513,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except WorkerPoolError as exc:
         print(f"worker pool failed: {exc}", file=sys.stderr)
         return EXIT_POOL
+    except ServiceError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return EXIT_SERVICE
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_ERROR

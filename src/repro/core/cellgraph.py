@@ -111,6 +111,7 @@ def approx_edge_predicate(
     rho: float,
     exact_leaf_size: int | None = None,
     structures: Optional[Dict[CellCoord, FlatHierarchy]] = None,
+    deadline: Optional["Deadline"] = None,
 ):
     """Build the rho-approximate edge test ``edge(c1, c2) -> bool``.
 
@@ -126,7 +127,9 @@ def approx_edge_predicate(
     ``structures`` optionally seeds the per-cell structure cache (the
     serial path pre-builds all of them under the deadline); missing entries
     are built lazily, which is what worker processes do for the cells their
-    pair chunks actually touch.
+    pair chunks actually touch.  A bounded ``deadline`` is handed to every
+    batched query, so even one pathologically large edge test is cancelled
+    promptly.
     """
     points = grid.points
     kwargs = {} if exact_leaf_size is None else {"exact_leaf_size": exact_leaf_size}
@@ -138,7 +141,7 @@ def approx_edge_predicate(
             structure = cache[c2] = FlatHierarchy(
                 points[cells[c2]], grid.eps, rho, **kwargs
             )
-        return structure.any_contains(points[cells[c1]])
+        return structure.any_contains(points[cells[c1]], deadline=deadline)
 
     return edge
 
@@ -263,7 +266,7 @@ def approx_components(
             deadline.tick()
         structures[cell] = FlatHierarchy(points[idx], grid.eps, rho, **kwargs)
     edge = approx_edge_predicate(
-        grid, cells, rho, exact_leaf_size, structures=structures
+        grid, cells, rho, exact_leaf_size, structures=structures, deadline=deadline
     )
     for c1, c2 in candidate_cell_pairs(grid, cells, uf, seeded=bool(preunion)):
         if deadline is not None:

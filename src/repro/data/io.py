@@ -11,7 +11,9 @@ resolves bad rows according to ``on_bad_rows``:
 * ``"drop"`` — log a WARNING and cluster the good rows only;
 * ``"quarantine"`` — like ``"drop"``, but additionally write the rejected
   rows verbatim to a ``<path>.quarantine.csv`` sidecar (one ``# reason``
-  comment per row) so no datum is silently destroyed.
+  comment per row) so no datum is silently destroyed.  Each load claims a
+  fresh sidecar (``.quarantine-1.csv``, ``-2``, ...) instead of clobbering
+  the previous run's evidence.
 
 A row is *bad* when it contains a non-numeric field, has a different
 width than the first parseable row, or holds a non-finite coordinate
@@ -101,18 +103,31 @@ def _screen_array(arr: np.ndarray) -> Tuple[np.ndarray, List[Tuple[int, str, str
     return arr[finite], bad
 
 
-def _quarantine_path(path: str) -> str:
-    return path + ".quarantine.csv"
+def _quarantine_path(path: str, run: int = 0) -> str:
+    if run == 0:
+        return path + ".quarantine.csv"
+    return f"{path}.quarantine-{run}.csv"
 
 
 def _write_quarantine(path: str, bad: List[Tuple[int, str, str]]) -> str:
-    side = _quarantine_path(path)
-    with open(side, "w", encoding="utf-8") as fh:
-        fh.write("# rows rejected while loading %s\n" % os.path.basename(path))
-        for lineno, line, reason in bad:
-            fh.write(f"# line {lineno}: {reason}\n")
-            fh.write(line + "\n")
-    return side
+    # Each load gets its own sidecar: O_EXCL claims the first unused
+    # suffix, so a rerun never overwrites the previous run's evidence
+    # (and concurrent loaders of the same file cannot race on one name).
+    for run in range(10_000):
+        side = _quarantine_path(path, run)
+        try:
+            fd = os.open(side, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            continue
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write("# rows rejected while loading %s\n" % os.path.basename(path))
+            for lineno, line, reason in bad:
+                fh.write(f"# line {lineno}: {reason}\n")
+                fh.write(line + "\n")
+        return side
+    raise DataError(  # pragma: no cover - ten thousand sidecars is pathological
+        f"{path}: could not find an unused quarantine sidecar name after 10000 tries"
+    )
 
 
 def load_points(path: str, *, on_bad_rows: str = "raise") -> np.ndarray:

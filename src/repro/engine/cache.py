@@ -223,6 +223,19 @@ class StructureCache:
         self._bytes -= cost
         self.evictions += 1
 
+    def set_budget(self, max_mb: Optional[float]) -> None:
+        """Re-cap the byte budget at runtime, evicting down if needed.
+
+        The service registry uses this to apply (and adjust) per-tenant
+        quotas on live caches without dropping their warm entries wholesale:
+        shrinking the cap sheds LRU entries until the new cap holds.
+        """
+        if max_mb is not None and not float(max_mb) > 0:
+            raise ParameterError(f"max_mb must be positive (or None); got {max_mb}")
+        with self._lock:
+            self.max_mb = None if max_mb is None else float(max_mb)
+            self._evict_over_caps()
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()

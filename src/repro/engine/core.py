@@ -20,6 +20,7 @@ pipeline would have recomputed identically.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -71,6 +72,27 @@ class ClusteringEngine:
         self.fingerprint = fingerprint_points(self.points)
         self.cache = cache if cache is not None else default_cache()
         self.workers = workers
+        # Thread-safe run ledger: how many clustering executions this engine
+        # actually performed, per algorithm.  The service layer's coalescing
+        # tests read it to prove N identical concurrent requests executed
+        # exactly once.
+        self._runs_lock = threading.Lock()
+        self._runs: Dict[str, int] = {}
+
+    def _record_run(self, algorithm: str) -> None:
+        with self._runs_lock:
+            self._runs[algorithm] = self._runs.get(algorithm, 0) + 1
+
+    def run_counts(self) -> Dict[str, int]:
+        """Snapshot of executed runs per algorithm (thread-safe)."""
+        with self._runs_lock:
+            return dict(self._runs)
+
+    @property
+    def runs_executed(self) -> int:
+        """Total clustering executions this engine performed."""
+        with self._runs_lock:
+            return sum(self._runs.values())
 
     def __repr__(self) -> str:
         return (
@@ -154,6 +176,7 @@ class ClusteringEngine:
         if algorithm == "kdd96":
             from repro.algorithms.kdd96 import kdd96_dbscan
 
+            self._record_run(algorithm)
             return kdd96_dbscan(
                 self.points, eps, min_pts, index=index,
                 time_budget=time_budget, deadline=deadline,
@@ -163,6 +186,7 @@ class ClusteringEngine:
         if algorithm == "cit08":
             from repro.algorithms.cit08 import cit08_dbscan
 
+            self._record_run(algorithm)
             return cit08_dbscan(
                 self.points, eps, min_pts, time_budget=time_budget,
                 deadline=deadline, memory=as_memory_budget(memory_budget_mb),
@@ -170,6 +194,7 @@ class ClusteringEngine:
         if algorithm == "brute":
             from repro.algorithms.brute import brute_dbscan
 
+            self._record_run(algorithm)
             return brute_dbscan(
                 self.points, eps, min_pts, time_budget=time_budget,
                 deadline=deadline, memory=as_memory_budget(memory_budget_mb),
@@ -299,6 +324,7 @@ class ClusteringEngine:
         """
         eps = float(eps)
         min_pts = int(min_pts)
+        self._record_run(algorithm)
         grid = self.grid(eps)
         cores_key = self._key("cores", eps, min_pts)
         core_mask = self.cache.get(cores_key)

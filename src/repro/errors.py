@@ -116,6 +116,136 @@ class CheckpointError(ReproError, RuntimeError):
     """
 
 
+class ServiceError(ReproError, RuntimeError):
+    """Base class for errors raised by the clustering service layer.
+
+    Raised by :mod:`repro.service` (the asyncio front-end over a shared
+    :class:`~repro.engine.ClusteringEngine`), never by the algorithms
+    themselves.  Every subclass is a *structured* verdict a client can act
+    on — back off, pick another dataset, fix the request — and carries an
+    ``as_dict()`` rendering for the wire protocol.
+    """
+
+    #: Stable machine-readable discriminator for the wire protocol.
+    code = "service"
+
+    def as_dict(self) -> dict:
+        """Wire-protocol rendering: ``{"code", "message", ...fields}``."""
+        return {"code": self.code, "message": str(self)}
+
+
+class ServiceOverloadError(ServiceError):
+    """The service shed a request instead of queueing it forever.
+
+    Raised by the admission controller when the bounded request queue is
+    full, or by the dispatcher when a request's deadline expired while it
+    waited in the queue.  Carries the queue state and a ``retry_after``
+    hint so clients can implement honest backoff instead of hammering an
+    overloaded service.
+    """
+
+    code = "overload"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "queue-full",
+        queue_depth: int = 0,
+        limit: int = 0,
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.reason = str(reason)
+        self.queue_depth = int(queue_depth)
+        self.limit = int(limit)
+        self.retry_after = None if retry_after is None else float(retry_after)
+
+    def as_dict(self) -> dict:
+        out = super().as_dict()
+        out.update(
+            reason=self.reason,
+            queue_depth=self.queue_depth,
+            limit=self.limit,
+            retry_after=self.retry_after,
+        )
+        return out
+
+    def __reduce__(self):
+        # Multi-argument constructor: rebuild from the structured fields
+        # (see TimeoutExceeded.__reduce__ for the pickling rationale).
+        return (
+            _rebuild_overload,
+            (
+                self.args[0] if self.args else "",
+                self.reason,
+                self.queue_depth,
+                self.limit,
+                self.retry_after,
+            ),
+        )
+
+
+def _rebuild_overload(message, reason, queue_depth, limit, retry_after):
+    return ServiceOverloadError(
+        message,
+        reason=reason,
+        queue_depth=queue_depth,
+        limit=limit,
+        retry_after=retry_after,
+    )
+
+
+class UnknownDatasetError(ServiceError):
+    """A request named a dataset the registry does not hold."""
+
+    code = "unknown-dataset"
+
+    def __init__(self, name: str, known=()) -> None:
+        self.name = str(name)
+        self.known = tuple(sorted(str(k) for k in known))
+        hint = f"; registered: {list(self.known)}" if self.known else ""
+        super().__init__(f"unknown dataset {self.name!r}{hint}")
+
+    def as_dict(self) -> dict:
+        out = super().as_dict()
+        out.update(name=self.name, known=list(self.known))
+        return out
+
+    def __reduce__(self):
+        return (UnknownDatasetError, (self.name, self.known))
+
+
+class DatasetQuarantinedError(ServiceError):
+    """The circuit breaker has quarantined a dataset after repeated faults.
+
+    A dataset whose requests keep failing for infrastructure reasons
+    (poisoned worker pools, internal errors) is quarantined for a cooldown
+    period so one poisonous tenant cannot keep burning pool respawns and
+    executor slots that other tenants need.  ``retry_after`` tells clients
+    when the breaker will next allow a probe.
+    """
+
+    code = "quarantined"
+
+    def __init__(self, name: str, failures: int, retry_after: float) -> None:
+        self.name = str(name)
+        self.failures = int(failures)
+        self.retry_after = float(retry_after)
+        super().__init__(
+            f"dataset {self.name!r} is quarantined after {self.failures} "
+            f"consecutive failure(s); retry in {self.retry_after:.1f}s"
+        )
+
+    def as_dict(self) -> dict:
+        out = super().as_dict()
+        out.update(name=self.name, failures=self.failures, retry_after=self.retry_after)
+        return out
+
+    def __reduce__(self):
+        return (DatasetQuarantinedError, (self.name, self.failures, self.retry_after))
+
+
 class WorkerPoolError(ReproError, RuntimeError):
     """The supervised worker pool failed beyond its recovery budgets.
 

@@ -31,14 +31,17 @@ from repro.grid.hierarchy import FlatHierarchy
 from repro.utils.validation import as_points
 
 
-def approx_core_mask(points: np.ndarray, eps: float, min_pts: int, rho: float) -> np.ndarray:
+def approx_core_mask(
+    points: np.ndarray, eps: float, min_pts: int, rho: float, deadline=None
+) -> np.ndarray:
     """Approximate core labeling via one whole-dataset Lemma 5 structure.
 
     All ``n`` core-ness tests resolve through a single batched
-    :meth:`FlatHierarchy.count_many` call.
+    :meth:`FlatHierarchy.count_many` call; an optional ``deadline`` is
+    polled inside that call's frontier loop.
     """
     structure = FlatHierarchy(points, eps, rho)
-    return structure.count_many(points) >= min_pts
+    return structure.count_many(points, deadline=deadline) >= min_pts
 
 
 def approx_dbscan_full(

@@ -48,6 +48,7 @@ from repro.errors import DataError
 from repro.geometry import distance as dm
 from repro.grid import counters
 from repro.grid.cells import _group_by_rows
+from repro.runtime.deadline import Deadline
 from repro.utils.validation import check_eps, check_rho
 
 _EXACT_LEAF_SIZE = 8
@@ -452,36 +453,49 @@ class FlatHierarchy:
             self.contains_any_many(np.asarray(q, dtype=np.float64)[None, :])[0]
         )
 
-    def count_many(self, queries: np.ndarray) -> np.ndarray:
+    def count_many(
+        self, queries: np.ndarray, *, deadline: Optional[Deadline] = None
+    ) -> np.ndarray:
         """Approximate counts for every row of ``queries`` at once.
 
         Each answer independently satisfies the Lemma 5 sandwich
         ``[|B(q, eps) ∩ P|, |B(q, eps(1+rho)) ∩ P|]`` and equals the
-        answer of the scalar :meth:`count` on that row.
+        answer of the scalar :meth:`count` on that row.  A bounded
+        ``deadline`` is polled once per traversal level per internal chunk,
+        so even a single huge batch cannot overshoot its time budget by
+        more than one level's worth of work.
         """
         queries = self._as_queries(queries)
         totals = np.zeros(len(queries), dtype=np.int64)
         for start in range(0, len(queries), _QUERY_CHUNK):
             chunk = slice(start, min(start + _QUERY_CHUNK, len(queries)))
-            self._count_chunk(queries[chunk], totals[chunk])
+            self._count_chunk(queries[chunk], totals[chunk], deadline)
         return totals
 
-    def contains_any_many(self, queries: np.ndarray) -> np.ndarray:
+    def contains_any_many(
+        self, queries: np.ndarray, *, deadline: Optional[Deadline] = None
+    ) -> np.ndarray:
         """Batched :meth:`contains_any`: one bool per query row.
 
         ``True`` means some point lies within ``eps(1+rho)`` of the query;
         ``False`` means none lies within ``eps`` — the yes / no /
         don't-care contract of the rho-approximate edge rule.  A query
-        retires from the frontier the moment its answer is decided.
+        retires from the frontier the moment its answer is decided.  A
+        bounded ``deadline`` is polled per level per chunk (see
+        :meth:`count_many`).
         """
         queries = self._as_queries(queries)
         answers = np.zeros(len(queries), dtype=bool)
         for start in range(0, len(queries), _QUERY_CHUNK):
             chunk = slice(start, min(start + _QUERY_CHUNK, len(queries)))
-            self._contains_chunk(queries[chunk], answers[chunk], stop_on_first=False)
+            self._contains_chunk(
+                queries[chunk], answers[chunk], stop_on_first=False, deadline=deadline
+            )
         return answers
 
-    def any_contains(self, queries: np.ndarray) -> bool:
+    def any_contains(
+        self, queries: np.ndarray, *, deadline: Optional[Deadline] = None
+    ) -> bool:
         """Does *any* query row get a yes?  (The batched edge decision.)
 
         Equivalent to ``self.contains_any_many(queries).any()`` but the
@@ -492,7 +506,9 @@ class FlatHierarchy:
         for start in range(0, len(queries), _QUERY_CHUNK):
             chunk = slice(start, min(start + _QUERY_CHUNK, len(queries)))
             answers = np.zeros(chunk.stop - chunk.start, dtype=bool)
-            if self._contains_chunk(queries[chunk], answers, stop_on_first=True):
+            if self._contains_chunk(
+                queries[chunk], answers, stop_on_first=True, deadline=deadline
+            ):
                 return True
         return False
 
@@ -601,13 +617,20 @@ class FlatHierarchy:
         p_rows = _concat_ranges(self._leaf_off[level][node], ln)
         return np.repeat(q_id, ln), self._leaf_point_idx[p_rows]
 
-    def _count_chunk(self, queries: np.ndarray, totals: np.ndarray) -> None:
+    def _count_chunk(
+        self,
+        queries: np.ndarray,
+        totals: np.ndarray,
+        deadline: Optional[Deadline] = None,
+    ) -> None:
         counters.add("lemma5_queries", len(queries))
         counters.add("lemma5_batches")
         q_id, node = self._root_frontier(queries)
         for level in range(self.n_levels):
             if len(q_id) == 0:
                 break
+            if deadline is not None:
+                deadline.check()
             counters.add("lemma5_frontier_pairs", len(q_id))
             min_sq, max_sq = self._bounds(queries, q_id, node, level)
             alive = min_sq <= self._sq_eps
@@ -638,7 +661,12 @@ class FlatHierarchy:
                 break
 
     def _contains_chunk(
-        self, queries: np.ndarray, answers: np.ndarray, *, stop_on_first: bool
+        self,
+        queries: np.ndarray,
+        answers: np.ndarray,
+        *,
+        stop_on_first: bool,
+        deadline: Optional[Deadline] = None,
     ) -> bool:
         """Advance the containment frontier; fills ``answers`` in place.
 
@@ -651,6 +679,8 @@ class FlatHierarchy:
         for level in range(self.n_levels):
             if len(q_id) == 0:
                 break
+            if deadline is not None:
+                deadline.check()
             counters.add("lemma5_frontier_pairs", len(q_id))
             min_sq, max_sq = self._bounds(queries, q_id, node, level)
             alive = min_sq <= self._sq_eps

@@ -31,6 +31,7 @@ from repro.parallel.supervisor import (
     SupervisorStats,
     collect_stats,
     current_stats,
+    retry_transient,
     run_supervised,
 )
 
@@ -51,5 +52,6 @@ __all__ = [
     "SupervisorStats",
     "collect_stats",
     "current_stats",
+    "retry_transient",
     "run_supervised",
 ]

@@ -89,6 +89,58 @@ def backoff_delay(attempt: int, seq: int) -> float:
     return base * jitter
 
 
+def retry_transient(
+    fn: Callable[[], object],
+    *,
+    attempts: int = 3,
+    seq: int = 0,
+    deadline: Optional[Deadline] = None,
+    retry_on: Tuple[type, ...] = (WorkerPoolError, OSError),
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+):
+    """Call ``fn()`` with the supervisor's backoff on transient failures.
+
+    The supervisor's retry ladder, reusable outside :func:`run_supervised`
+    for callers (the service dispatcher, ad-hoc scripts) that invoke a
+    whole engine run rather than a single shard.  Only exceptions in
+    ``retry_on`` are retried — by default infrastructure failures
+    (:class:`~repro.errors.WorkerPoolError`, ``OSError``); cooperative
+    budget verdicts (:class:`~repro.errors.TimeoutExceeded`,
+    :class:`~repro.errors.MemoryBudgetExceeded`) and parameter errors
+    propagate immediately, exactly as :func:`run_supervised` treats them.
+    Between attempts the delay follows :func:`backoff_delay` (``seq``
+    picks the jitter lane); a bounded ``deadline`` that cannot cover the
+    next delay re-raises instead of sleeping past the budget.
+    ``on_retry(attempt, exc)`` is invoked before each backoff so callers
+    can keep their own ledger.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1; got {attempts}")
+    last: Optional[BaseException] = None
+    for attempt in range(1, attempts + 1):
+        try:
+            return fn()
+        except retry_on as exc:
+            last = exc
+            if attempt == attempts:
+                raise
+            delay = backoff_delay(attempt, seq)
+            if deadline is not None:
+                deadline.check()
+                remaining = deadline.remaining()
+                if remaining is not None and remaining <= delay:
+                    raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            _log.warning(
+                "retry_transient: attempt %d/%d failed (%s: %s); retrying in %.0fms",
+                attempt, attempts, type(exc).__name__, exc, delay * 1e3,
+            )
+            sleep(delay)
+    raise AssertionError("unreachable") from last  # pragma: no cover
+
+
 @dataclass
 class SupervisorStats:
     """Ledger of every recovery action taken across one run's phases."""

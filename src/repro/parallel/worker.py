@@ -92,6 +92,7 @@ def build_context(payload: Dict[str, object], *, in_worker: bool = True) -> Dict
             payload["rho"],
             payload.get("exact_leaf_size"),
             structures=dict(structures) if structures else None,
+            deadline=ctx["deadline"],
         )
     return ctx
 

@@ -23,13 +23,14 @@ See ``docs/ROBUSTNESS.md`` for the full story.
 from __future__ import annotations
 
 from repro.runtime.checkpoint import PHASES, CheckpointStore, fingerprint_points
-from repro.runtime.deadline import Deadline, as_deadline
+from repro.runtime.deadline import Deadline, as_deadline, tightest
 from repro.runtime.faultinject import FaultPlan, inject_faults
 from repro.runtime.memory import MemoryBudget, as_memory_budget, current_rss
 
 __all__ = [
     "Deadline",
     "as_deadline",
+    "tightest",
     "MemoryBudget",
     "as_memory_budget",
     "current_rss",
@@ -42,6 +43,7 @@ __all__ = [
     "run_resilient",
     "sampled_dbscan",
     "TIERS",
+    "tier_guarantee",
 ]
 
 
@@ -49,7 +51,7 @@ def __getattr__(name: str):
     # run_resilient depends on the algorithm modules, which themselves
     # import the runtime submodules above; resolving it lazily keeps the
     # package importable from either direction.
-    if name in ("ResiliencePolicy", "run_resilient", "sampled_dbscan", "TIERS"):
+    if name in ("ResiliencePolicy", "run_resilient", "sampled_dbscan", "TIERS", "tier_guarantee"):
         from repro.runtime import resilient
 
         return getattr(resilient, name)

@@ -94,6 +94,27 @@ class Deadline:
         return f"Deadline(budget={self.budget:g}s, elapsed={self.elapsed():.3f}s)"
 
 
+def tightest(*deadlines: Optional["Deadline"]) -> Optional["Deadline"]:
+    """The deadline that expires first among ``deadlines``.
+
+    ``None`` entries and unbounded deadlines are skipped; with no bounded
+    deadline at all, ``None`` is returned.  The winner is returned *as is*
+    (not copied), so its clock keeps running from its original start —
+    which is what lets a service hand queued work a token created at
+    admission time: the queue wait has already consumed part of the
+    budget by the time the work executes.
+    """
+    best: Optional[Deadline] = None
+    best_expiry = float("inf")
+    for dl in deadlines:
+        if dl is None or dl.budget is None:
+            continue
+        expiry = dl.start + dl.budget
+        if expiry < best_expiry:
+            best, best_expiry = dl, expiry
+    return best
+
+
 def as_deadline(
     time_budget: Optional[float] = None,
     deadline: Optional[Deadline] = None,

@@ -71,6 +71,18 @@ _GUARANTEES: Dict[str, str] = {
 }
 
 
+def tier_guarantee(tier: str) -> str:
+    """The quality guarantee recorded for ``tier`` (one of :data:`TIERS`).
+
+    Public accessor so other layers (the service's degradation ladder,
+    docs tooling) can stamp the same Sandwich-Theorem caveats into their
+    response metadata without duplicating the wording.
+    """
+    if tier not in _GUARANTEES:
+        raise ParameterError(f"unknown resilience tier {tier!r}; choose from {TIERS}")
+    return _GUARANTEES[tier]
+
+
 @dataclass(frozen=True)
 class ResiliencePolicy:
     """How :func:`run_resilient` degrades under pressure.

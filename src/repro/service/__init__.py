@@ -1,0 +1,49 @@
+"""Clustering-as-a-service: an async front-end over the warm engine.
+
+The ROADMAP's north star is serving rho-approximate DBSCAN (Gan & Tao,
+SIGMOD 2015) to heavy multi-tenant traffic: one process, one warm
+:class:`~repro.engine.ClusteringEngine` per dataset, many concurrent
+callers.  The pieces built by the earlier PRs — cooperative
+:class:`~repro.runtime.Deadline` / :class:`~repro.runtime.MemoryBudget`
+guards, the supervisor recovery ladder of :mod:`repro.parallel`, the
+fingerprint-keyed :class:`~repro.engine.cache.StructureCache` — keep one
+*run* honest; this package keeps the *system* honest when requests arrive
+faster than they can be served:
+
+* :mod:`~repro.service.registry` — named datasets (arrays or CSV paths),
+  one engine each, per-tenant structure-cache byte quotas;
+* :mod:`~repro.service.queue` — single-flight request coalescing:
+  concurrent requests for the same ``(dataset, eps, min_pts, rho,
+  workers)`` attach to one in-flight computation and all receive its
+  result;
+* :mod:`~repro.service.admission` — bounded admission, queue-pressure
+  accounting, the degradation ladder (exact -> rho-approximate ->
+  DBSCAN++-style sampled cores), and the per-dataset circuit breaker;
+* :mod:`~repro.service.server` — the asyncio :class:`ClusteringService`
+  plus line-delimited-JSON servers over stdio and localhost TCP
+  (``repro-dbscan serve``);
+* :mod:`~repro.service.client` — a small in-process
+  :class:`ServiceClient` for tests and examples.
+
+See ``docs/SERVICE.md`` for the endpoint reference, the admission /
+degradation semantics, and the failure model.
+"""
+
+from repro.service.admission import AdmissionController, AdmissionPolicy, CircuitBreaker
+from repro.service.client import ServiceClient
+from repro.service.queue import RequestKey, ServiceStats, SingleFlight
+from repro.service.registry import DatasetEntry, DatasetRegistry
+from repro.service.server import ClusteringService
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "CircuitBreaker",
+    "ClusteringService",
+    "DatasetEntry",
+    "DatasetRegistry",
+    "RequestKey",
+    "ServiceClient",
+    "ServiceStats",
+    "SingleFlight",
+]

@@ -1,0 +1,184 @@
+"""An in-process client for :class:`~repro.service.ClusteringService`.
+
+The service is an asyncio object; most of this repo's callers (tests,
+benchmarks, notebooks) are synchronous.  :class:`ServiceClient` bridges
+the two: it owns a background thread running a private event loop, hosts
+one service on it, and exposes blocking methods that submit coroutines
+via :func:`asyncio.run_coroutine_threadsafe`.
+
+Because every call goes through the *real* service — admission,
+coalescing, degradation, breaker — the client is also the fixture the
+robustness tests drive: :meth:`cluster_many` submits a batch of requests
+concurrently (all landing on the loop before any completes), which is
+exactly the shape that exercises single-flight coalescing and queue-full
+shedding deterministically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import Future
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.serialize import from_dict
+from repro.service.server import ClusteringService
+
+
+class ServiceClient:
+    """Blocking facade over a :class:`ClusteringService` on a private loop.
+
+    Parameters
+    ----------
+    service:
+        The service to host; a fresh one (built from ``**kwargs``:
+        ``registry=``, ``policy=``) when omitted.  The client owns the
+        loop and, on :meth:`close`, the service's executor.
+
+    Use as a context manager::
+
+        with ServiceClient(policy=AdmissionPolicy(max_queue=8)) as client:
+            client.register("toy", points)
+            result = client.cluster("toy", eps=0.05, min_pts=10)
+            result.meta["service"]["tier"]   # "exact" | "approx" | "sampled"
+    """
+
+    def __init__(self, service: Optional[ClusteringService] = None, **kwargs) -> None:
+        self.service = service if service is not None else ClusteringService(**kwargs)
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-service-client", daemon=True
+        )
+        self._thread.start()
+
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    # ------------------------------------------------------------ plumbing
+
+    def submit(self, coro) -> Future:
+        """Schedule a coroutine on the service loop; returns its Future."""
+        return asyncio.run_coroutine_threadsafe(coro, self._loop)
+
+    def _call(self, coro, timeout: Optional[float] = None):
+        return self.submit(coro).result(timeout)
+
+    def close(self) -> None:
+        """Stop the loop, join the thread, release the service executor."""
+        if self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5.0)
+        if not self._loop.is_running():  # pragma: no branch
+            self._loop.close()
+        self.service.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- dataset
+
+    def register(self, name, points=None, path=None, *, tenant="default",
+                 on_bad_rows="raise") -> Dict[str, object]:
+        # The registry is thread-safe on its own; no loop hop needed.
+        return self.service.register(
+            name, points=points, path=path, tenant=tenant, on_bad_rows=on_bad_rows
+        )
+
+    def unregister(self, name) -> bool:
+        return self.service.unregister(name)
+
+    def datasets(self) -> Dict[str, Dict[str, object]]:
+        return self.service.datasets()
+
+    def stats(self) -> Dict[str, object]:
+        return self.service.service_stats()
+
+    # ------------------------------------------------------------ requests
+
+    def cluster(
+        self,
+        dataset: str,
+        eps: float,
+        min_pts: int,
+        *,
+        rho: Optional[float] = None,
+        algorithm: Optional[str] = None,
+        workers=None,
+        time_budget: Optional[float] = None,
+        tier: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
+        """One blocking cluster request; returns a ``Clustering``.
+
+        The response's ``{tier, reason, coalesced}`` metadata is available
+        as ``result.meta["service"]``.  Structured service errors
+        (:class:`~repro.errors.ServiceOverloadError`, ...) propagate as
+        exceptions, exactly as the service raised them.
+        """
+        response = self._call(
+            self.service.cluster(
+                dataset, eps, min_pts, rho=rho, algorithm=algorithm,
+                workers=workers, time_budget=time_budget, tier=tier,
+            ),
+            timeout=timeout,
+        )
+        return self._to_clustering(response)
+
+    def cluster_many(
+        self,
+        requests: Sequence[Dict[str, object]],
+        *,
+        timeout: Optional[float] = None,
+        return_exceptions: bool = True,
+    ) -> List[object]:
+        """Submit many requests concurrently; collect results in order.
+
+        Every request dict takes the :meth:`cluster` keywords plus the
+        positional trio as ``dataset`` / ``eps`` / ``min_pts``.  All
+        coroutines are scheduled before any result is awaited, so
+        identical requests genuinely race — the coalescing and shedding
+        paths, not the sequential cache, serve the duplicates.  With
+        ``return_exceptions`` (the default) failures come back in-slot as
+        exception objects instead of aborting the batch.
+        """
+        futures = [
+            self.submit(
+                self.service.cluster(
+                    req["dataset"], req["eps"], req["min_pts"],
+                    rho=req.get("rho"),
+                    algorithm=req.get("algorithm"),
+                    workers=req.get("workers"),
+                    time_budget=req.get("time_budget"),
+                    tier=req.get("tier"),
+                )
+            )
+            for req in requests
+        ]
+        out: List[object] = []
+        for future in futures:
+            try:
+                out.append(self._to_clustering(future.result(timeout)))
+            except Exception as exc:  # noqa: BLE001 - collected, not hidden
+                if not return_exceptions:
+                    raise
+                out.append(exc)
+        return out
+
+    @staticmethod
+    def _to_clustering(response: Dict[str, object]):
+        result = from_dict(response["clustering"])
+        # Coalesced waiters share the leader's response payload, and
+        # from_dict reuses its nested meta dict — copy before annotating
+        # this caller's view (coalesced-ness is per request, not per
+        # computation).
+        meta = dict(result.meta)
+        service = dict(meta.get("service") or {})
+        service["coalesced"] = response.get("coalesced", False)
+        service["elapsed"] = response.get("elapsed")
+        meta["service"] = service
+        result.meta = meta
+        return result

@@ -1,0 +1,158 @@
+"""Single-flight request coalescing and the service's counters.
+
+Identical concurrent requests are the common case for a clustering
+service — a dashboard fans one parameter setting out to many widgets, a
+hyper-parameter sweep retries the eps it already asked for — and the
+engine's structure cache only helps *sequential* repeats.
+:class:`SingleFlight` closes the concurrent window: the first request for
+a :class:`RequestKey` becomes the *leader* and actually computes; every
+request arriving while it is in flight *attaches* to the same future and
+receives the identical response object.  N identical concurrent requests
+therefore execute the clustering exactly once (the acceptance criterion
+verified via :meth:`ClusteringEngine.run_counts` and the kernel counters
+in ``tests/test_service.py``).
+
+All of this runs on the service's event loop — one thread — so the map
+needs no lock; the executor threads doing the actual clustering never
+touch it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class RequestKey:
+    """What makes two cluster requests "the same computation".
+
+    The coalescing key of the tentpole spec: ``(dataset, eps, min_pts,
+    rho, workers)`` plus the algorithm family.  Deliberately *excluded*:
+    the degradation tier (decided once, at dispatch time, for the single
+    in-flight computation — every attached waiter receives the same
+    result and the same ``{tier, reason}`` metadata) and the deadline
+    (each waiter enforces its own while it waits).
+    """
+
+    dataset: str
+    eps: float
+    min_pts: int
+    rho: Optional[float]
+    workers: object
+    algorithm: str = "grid"
+
+    @classmethod
+    def build(
+        cls,
+        dataset: str,
+        eps: float,
+        min_pts: int,
+        *,
+        rho: Optional[float] = None,
+        workers=None,
+        algorithm: str = "grid",
+    ) -> "RequestKey":
+        # A ParallelConfig is not hashable; its repr is deterministic and
+        # total, which is all a coalescing key needs.
+        if workers is not None and not isinstance(workers, (int, str)):
+            workers = repr(workers)
+        return cls(
+            dataset=str(dataset),
+            eps=float(eps),
+            min_pts=int(min_pts),
+            rho=None if rho is None else float(rho),
+            workers=workers,
+            algorithm=str(algorithm),
+        )
+
+
+@dataclass
+class _Flight:
+    """One in-flight computation and the requests attached to it."""
+
+    future: "asyncio.Future"
+    waiters: int = 1  # the leader counts too
+
+
+class SingleFlight:
+    """The key -> in-flight-future map (event-loop confined)."""
+
+    def __init__(self) -> None:
+        self._flights: Dict[RequestKey, _Flight] = {}
+
+    def acquire(self, key: RequestKey) -> Tuple[_Flight, bool]:
+        """Join the flight for ``key``; the bool is "you are the leader".
+
+        The leader must eventually call :meth:`resolve` or
+        :meth:`resolve_error` — every attached waiter is awaiting the
+        flight's future, and an unresolved future is a hung client.
+        """
+        flight = self._flights.get(key)
+        if flight is not None and not flight.future.done():
+            flight.waiters += 1
+            return flight, False
+        flight = _Flight(future=asyncio.get_running_loop().create_future())
+        self._flights[key] = flight
+        return flight, True
+
+    def resolve(self, key: RequestKey, response: Dict[str, object]) -> None:
+        """Deliver the leader's response to every attached waiter."""
+        flight = self._flights.pop(key, None)
+        if flight is not None and not flight.future.done():
+            flight.future.set_result(response)
+
+    def resolve_error(self, key: RequestKey, exc: BaseException) -> None:
+        """Fail every attached waiter with the leader's (structured) error."""
+        flight = self._flights.pop(key, None)
+        if flight is not None and not flight.future.done():
+            flight.future.set_exception(exc)
+            # The leader re-raises on its own path; if no waiter ever
+            # awaits the future, don't let asyncio log a spurious
+            # "exception was never retrieved" warning.
+            if flight.waiters <= 1:
+                flight.future.exception()
+
+    def in_flight(self) -> int:
+        return len(self._flights)
+
+
+@dataclass
+class ServiceStats:
+    """Monotonic counters over the service's lifetime (the ``stats`` op)."""
+
+    #: Requests admitted past the queue-depth bound.
+    accepted: int = 0
+    #: Requests shed by admission control (queue full / expired deadline).
+    rejected: int = 0
+    #: Requests that attached to an existing in-flight computation.
+    coalesced: int = 0
+    #: Clustering executions actually dispatched to the engine.
+    executed: int = 0
+    #: Executions served below the requested tier (ladder engaged).
+    degraded: int = 0
+    #: Executions that raised (any error reaching the response).
+    failed: int = 0
+    #: Transient-failure retries spent by the dispatcher.
+    retries: int = 0
+    #: Requests refused by an open per-dataset circuit breaker.
+    quarantined: int = 0
+    #: Per-tier execution counts.
+    tiers: Dict[str, int] = field(default_factory=dict)
+
+    def count_tier(self, tier: str) -> None:
+        self.tiers[tier] = self.tiers.get(tier, 0) + 1
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "coalesced": self.coalesced,
+            "executed": self.executed,
+            "degraded": self.degraded,
+            "failed": self.failed,
+            "retries": self.retries,
+            "quarantined": self.quarantined,
+            "tiers": dict(self.tiers),
+        }

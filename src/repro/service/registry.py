@@ -1,0 +1,208 @@
+"""Named datasets behind the service: one warm engine each, quota'd caches.
+
+The registry is the service's only source of clusterable data: a request
+names a dataset, never ships one inline, so the expensive part (validating
+the points, fingerprinting them, warming grid / Lemma 5 structures) is
+paid at registration time and amortised over every later request.
+
+Tenancy is cache-level: every tenant gets its *own*
+:class:`~repro.engine.cache.StructureCache`, capped at the registry's
+per-tenant byte quota, and every dataset registered under that tenant
+shares it.  One tenant's eps-sweep therefore cannot evict another
+tenant's warm structures — the noisy-neighbour failure the ROADMAP's
+multi-tenant north star calls out — while datasets *within* a tenant
+still share structures through the fingerprint-keyed cache exactly as
+engines always have.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.engine.cache import StructureCache
+from repro.engine.core import ClusteringEngine
+from repro.errors import ParameterError, UnknownDatasetError
+
+
+@dataclass
+class DatasetEntry:
+    """One registered dataset: its engine, provenance and tenancy."""
+
+    name: str
+    engine: ClusteringEngine
+    tenant: str
+    source: str  # "array" or the originating file path
+    #: Number of cluster requests served from this entry (informational).
+    requests: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def count_request(self) -> None:
+        with self._lock:
+            self.requests += 1
+
+    def info(self) -> Dict[str, object]:
+        """JSON-safe description for the ``datasets`` endpoint."""
+        points = self.engine.points
+        return {
+            "name": self.name,
+            "tenant": self.tenant,
+            "source": self.source,
+            "n": int(len(points)),
+            "d": int(points.shape[1]) if points.ndim == 2 and len(points) else 0,
+            "fingerprint": self.engine.fingerprint,
+            "requests": self.requests,
+            # Per-algorithm execution counts: the exactly-once evidence
+            # the coalescing smoke asserts on over the wire.
+            "runs": self.engine.run_counts(),
+            "cache": self.engine.cache.stats(),
+        }
+
+
+class DatasetRegistry:
+    """Thread-safe name -> :class:`DatasetEntry` map with tenant quotas.
+
+    Parameters
+    ----------
+    tenant_quota_mb:
+        Byte quota (estimated, in MB) for each tenant's
+        :class:`~repro.engine.cache.StructureCache`; ``None`` leaves the
+        caches entry-capped only.
+    workers:
+        Default ``workers`` argument for every engine the registry builds
+        (same semantics as :class:`~repro.engine.ClusteringEngine`).
+    max_datasets:
+        Hard cap on registered datasets — registration is memory
+        commitment, so it is admission-controlled like everything else.
+    """
+
+    def __init__(
+        self,
+        *,
+        tenant_quota_mb: Optional[float] = None,
+        workers=None,
+        max_datasets: int = 64,
+    ) -> None:
+        if int(max_datasets) < 1:
+            raise ParameterError(f"max_datasets must be >= 1; got {max_datasets}")
+        if tenant_quota_mb is not None and not float(tenant_quota_mb) > 0:
+            raise ParameterError(
+                f"tenant_quota_mb must be positive (or None); got {tenant_quota_mb}"
+            )
+        self.tenant_quota_mb = None if tenant_quota_mb is None else float(tenant_quota_mb)
+        self.workers = workers
+        self.max_datasets = int(max_datasets)
+        self._lock = threading.Lock()
+        self._entries: Dict[str, DatasetEntry] = {}
+        self._tenant_caches: Dict[str, StructureCache] = {}
+
+    # ------------------------------------------------------------- mutation
+
+    def _tenant_cache(self, tenant: str) -> StructureCache:
+        """The tenant's quota'd cache (created on first use; caller locks)."""
+        cache = self._tenant_caches.get(tenant)
+        if cache is None:
+            cache = self._tenant_caches[tenant] = StructureCache(
+                max_mb=self.tenant_quota_mb
+            )
+        return cache
+
+    def register(
+        self,
+        name: str,
+        points=None,
+        path: Optional[str] = None,
+        *,
+        tenant: str = "default",
+        on_bad_rows: str = "raise",
+    ) -> Dict[str, object]:
+        """Register ``points`` (or the file at ``path``) under ``name``.
+
+        Exactly one of ``points`` / ``path`` must be given; paths go
+        through the hardened loader of :mod:`repro.data.io` with the given
+        ``on_bad_rows`` policy.  Re-registering a name is idempotent when
+        the data fingerprint matches and a :class:`ParameterError`
+        otherwise — silently swapping a dataset under live traffic would
+        invalidate every coalesced and cached answer in flight.
+        """
+        name = str(name)
+        if not name:
+            raise ParameterError("dataset name must be non-empty")
+        if (points is None) == (path is None):
+            raise ParameterError("register() needs exactly one of points= or path=")
+        if path is not None:
+            from repro.data.io import load_points
+
+            pts = load_points(str(path), on_bad_rows=on_bad_rows)
+            source = str(path)
+        else:
+            pts = points
+            source = "array"
+        with self._lock:
+            cache = self._tenant_cache(str(tenant))
+        # Engine construction validates and fingerprints the points; keep
+        # it outside the lock so a slow load cannot block lookups.
+        engine = ClusteringEngine(pts, cache=cache, workers=self.workers)
+        entry = DatasetEntry(name=name, engine=engine, tenant=str(tenant), source=source)
+        with self._lock:
+            existing = self._entries.get(name)
+            if existing is not None:
+                if existing.engine.fingerprint == engine.fingerprint:
+                    return existing.info()
+                raise ParameterError(
+                    f"dataset {name!r} is already registered with different data "
+                    f"(fingerprint {existing.engine.fingerprint[:12]!r}); "
+                    "unregister it first"
+                )
+            if len(self._entries) >= self.max_datasets:
+                raise ParameterError(
+                    f"registry is full ({self.max_datasets} datasets); "
+                    "unregister one first"
+                )
+            self._entries[name] = entry
+        return entry.info()
+
+    def unregister(self, name: str) -> bool:
+        """Remove ``name``; True when it was present.
+
+        The tenant cache is left intact: other datasets of the tenant may
+        share entries with the departing one (same fingerprint keys), and
+        LRU eviction reclaims orphaned structures on its own.
+        """
+        with self._lock:
+            return self._entries.pop(str(name), None) is not None
+
+    def set_tenant_quota(self, tenant: str, max_mb: Optional[float]) -> None:
+        """Re-cap one tenant's structure cache (evicting down if needed)."""
+        with self._lock:
+            cache = self._tenant_cache(str(tenant))
+        cache.set_budget(max_mb)
+
+    # -------------------------------------------------------------- lookup
+
+    def get(self, name: str) -> DatasetEntry:
+        """The entry for ``name``; :class:`UnknownDatasetError` if absent."""
+        with self._lock:
+            entry = self._entries.get(str(name))
+            if entry is None:
+                raise UnknownDatasetError(str(name), known=self._entries.keys())
+            return entry
+
+    def names(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._entries))
+
+    def describe(self) -> Dict[str, Dict[str, object]]:
+        """Info dicts for every registered dataset (the ``datasets`` op)."""
+        with self._lock:
+            entries = list(self._entries.values())
+        return {entry.name: entry.info() for entry in entries}
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return str(name) in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -243,6 +243,21 @@ class TestHardenedIngestion:
         assert "hello,6.0" in content
         assert "non-finite" in content
 
+    def test_quarantine_sidecar_unique_per_run(self, tmp_path):
+        # Re-running the loader must not clobber an earlier run's
+        # quarantine evidence: each run claims a fresh sidecar.
+        path = self._dirty_csv(tmp_path)
+        data_io.load_points(path, on_bad_rows="quarantine")
+        first = path + ".quarantine.csv"
+        original = open(first).read()
+        data_io.load_points(path, on_bad_rows="quarantine")
+        data_io.load_points(path, on_bad_rows="quarantine")
+        second = path + ".quarantine-1.csv"
+        third = path + ".quarantine-2.csv"
+        assert open(first).read() == original  # untouched
+        assert open(second).read() == original
+        assert open(third).read() == original
+
     def test_npy_nonfinite_row(self, tmp_path):
         path = str(tmp_path / "dirty.npy")
         np.save(path, np.array([[1.0, 2.0], [np.inf, 3.0], [4.0, 5.0]]))

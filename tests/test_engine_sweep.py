@@ -120,6 +120,68 @@ class TestStructureCache:
         cache.clear()
         assert len(cache) == 0
 
+    def test_set_budget_recaps_live_cache(self):
+        cache = StructureCache()
+        big = np.zeros(100_000, dtype=np.float64)
+        cache.insert(("a",), big, nbytes=big.nbytes)
+        cache.insert(("b",), big, nbytes=big.nbytes)
+        assert len(cache) == 2
+        cache.set_budget(0.000001)  # ~1 byte: evicts down, keeps one
+        assert cache.max_mb == 0.000001
+        assert len(cache) == 1
+        cache.set_budget(None)  # uncapped again
+        cache.insert(("c",), big, nbytes=big.nbytes)
+        assert len(cache) == 2
+        with pytest.raises(ParameterError):
+            cache.set_budget(-1.0)
+
+    def test_concurrent_hammering_during_sweep(self, blob_points):
+        """Threads hammering the cache mid-sweep must never corrupt it.
+
+        The service hits this shape constantly: executor threads running
+        sweeps against a tenant cache while the registry re-caps budgets
+        and other requests insert/evict concurrently.  The test passes if
+        no thread raises and the engine's sweep results stay byte-
+        identical to fresh one-shot runs.
+        """
+        import threading
+
+        cache = StructureCache(max_entries=8)
+        engine = ClusteringEngine(blob_points, cache=cache)
+        eps_grid = np.linspace(8.0, 40.0, 5)
+        errors = []
+        stop = threading.Event()
+
+        def hammer(seed):
+            rng = np.random.default_rng(seed)
+            try:
+                while not stop.is_set():
+                    op = rng.integers(0, 4)
+                    if op == 0:
+                        cache.insert(("junk", seed, int(rng.integers(1e6))),
+                                     np.zeros(64), nbytes=512)
+                    elif op == 1:
+                        cache.stats()
+                    elif op == 2:
+                        cache.set_budget(float(rng.uniform(0.5, 64.0)))
+                    else:
+                        cache.get(("junk", seed, 0))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            results = engine.sweep(eps_grid, 5)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=10)
+        assert not errors, errors
+        for eps, result in zip(eps_grid, results):
+            assert_identical(result, dbscan(blob_points, eps, 5))
+
 
 # ------------------------------------------------------------ engine basics
 
