@@ -23,7 +23,10 @@ unexplained hang:
   *infrastructure* reasons (poisoned worker pools, crashing shards) is
   quarantined for a cooldown so it cannot keep burning pool respawns that
   other tenants need; after the cooldown a single probe request is let
-  through (half-open) and its outcome closes or re-opens the breaker.
+  through (half-open) and its outcome closes or re-opens the breaker.  A
+  probe that exits without a verdict (shed, invalid parameters, budget
+  expiry) releases the probe slot so the breaker can probe again instead
+  of quarantining the dataset forever.
   Cooperative budget verdicts (:class:`~repro.errors.TimeoutExceeded`,
   :class:`~repro.errors.MemoryBudgetExceeded`) and caller mistakes
   (:class:`~repro.errors.ParameterError`) never trip it.
@@ -228,24 +231,32 @@ class CircuitBreaker:
         self._lock = threading.Lock()
         self._state: Dict[str, _BreakerState] = {}
 
-    def check(self, name: str) -> None:
+    def check(self, name: str) -> bool:
         """Gate a request on ``name``'s breaker.
 
-        Closed: passes.  Open within the cooldown: raises
-        :class:`DatasetQuarantinedError` with the remaining cooldown.
-        Open past the cooldown: lets exactly one probe through (half-open)
-        and quarantines the rest until the probe reports back.
+        Closed: passes (returns ``False``).  Open within the cooldown:
+        raises :class:`DatasetQuarantinedError` with the remaining
+        cooldown.  Open past the cooldown: lets exactly one probe through
+        (half-open, returns ``True``) and quarantines the rest until the
+        probe reports back.
+
+        The caller of a ``True`` return owns the probe slot and must
+        resolve it on *every* exit path — :meth:`record_success`,
+        :meth:`record_failure`, or :meth:`probe_aborted` when the probe
+        never reached the engine — or the breaker stays half-open forever
+        and quarantines every later request.
         """
         with self._lock:
             state = self._state.get(str(name))
             if state is None or state.failures < self.threshold:
-                return
+                return False
             remaining = self.cooldown - (time.monotonic() - state.opened_at)
             if remaining > 0:
                 raise DatasetQuarantinedError(str(name), state.failures, remaining)
             if state.probing:
                 raise DatasetQuarantinedError(str(name), state.failures, self.cooldown)
             state.probing = True
+            return True
 
     def record_failure(self, name: str) -> int:
         """Count one infrastructure failure; returns the consecutive total."""
@@ -261,6 +272,22 @@ class CircuitBreaker:
         """A request (or half-open probe) succeeded: close the breaker."""
         with self._lock:
             self._state.pop(str(name), None)
+
+    def probe_aborted(self, name: str) -> None:
+        """The half-open probe exited without an infrastructure verdict.
+
+        A probe shed by admission, rejected by parameter validation, or
+        stopped by a cooperative budget verdict (``TimeoutExceeded`` /
+        ``MemoryBudgetExceeded``) says nothing about whether the
+        infrastructure recovered, so it neither closes the breaker nor
+        counts as a failure — it just frees the probe slot so the next
+        request can probe.  A no-op when the probe already reported
+        through :meth:`record_success` / :meth:`record_failure`.
+        """
+        with self._lock:
+            state = self._state.get(str(name))
+            if state is not None:
+                state.probing = False
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """Open/closed state per dataset with a failure count (``stats`` op)."""

@@ -29,11 +29,14 @@ class RequestKey:
     """What makes two cluster requests "the same computation".
 
     The coalescing key of the tentpole spec: ``(dataset, eps, min_pts,
-    rho, workers)`` plus the algorithm family.  Deliberately *excluded*:
-    the degradation tier (decided once, at dispatch time, for the single
-    in-flight computation — every attached waiter receives the same
-    result and the same ``{tier, reason}`` metadata) and the deadline
-    (each waiter enforces its own while it waits).
+    rho, workers)`` plus the algorithm family and the tier the caller
+    *requested* — an explicit ``tier="sampled"`` request must not share a
+    flight with an ``"approx"`` one, or the approx caller silently
+    receives the low-quality sampled result.  Deliberately *excluded*:
+    the tier the ladder actually *dispatches* (decided once, at dispatch
+    time, for the single in-flight computation — every attached waiter
+    receives the same result and the same ``{tier, reason}`` metadata)
+    and the deadline (each waiter enforces its own while it waits).
     """
 
     dataset: str
@@ -42,6 +45,7 @@ class RequestKey:
     rho: Optional[float]
     workers: object
     algorithm: str = "grid"
+    requested: str = "exact"
 
     @classmethod
     def build(
@@ -53,6 +57,7 @@ class RequestKey:
         rho: Optional[float] = None,
         workers=None,
         algorithm: str = "grid",
+        requested: str = "exact",
     ) -> "RequestKey":
         # A ParallelConfig is not hashable; its repr is deterministic and
         # total, which is all a coalescing key needs.
@@ -65,6 +70,7 @@ class RequestKey:
             rho=None if rho is None else float(rho),
             workers=workers,
             algorithm=str(algorithm),
+            requested=str(requested),
         )
 
 
@@ -124,8 +130,13 @@ class ServiceStats:
 
     #: Requests admitted past the queue-depth bound.
     accepted: int = 0
-    #: Requests shed by admission control (queue full / expired deadline).
+    #: Requests shed *at* admission (queue full / deadline already
+    #: expired); disjoint from ``accepted``.
     rejected: int = 0
+    #: Accepted requests shed *after* admission because their deadline
+    #: expired while queued for an execution slot or while waiting on a
+    #: coalesced flight.
+    expired: int = 0
     #: Requests that attached to an existing in-flight computation.
     coalesced: int = 0
     #: Clustering executions actually dispatched to the engine.
@@ -136,7 +147,8 @@ class ServiceStats:
     failed: int = 0
     #: Transient-failure retries spent by the dispatcher.
     retries: int = 0
-    #: Requests refused by an open per-dataset circuit breaker.
+    #: Requests refused with :class:`DatasetQuarantinedError` by an open
+    #: per-dataset circuit breaker (counted where the check raises).
     quarantined: int = 0
     #: Per-tier execution counts.
     tiers: Dict[str, int] = field(default_factory=dict)
@@ -148,6 +160,7 @@ class ServiceStats:
         return {
             "accepted": self.accepted,
             "rejected": self.rejected,
+            "expired": self.expired,
             "coalesced": self.coalesced,
             "executed": self.executed,
             "degraded": self.degraded,

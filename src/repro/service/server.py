@@ -39,6 +39,7 @@ from repro.errors import (
     AlgorithmError,
     ConfigError,
     DataError,
+    DatasetQuarantinedError,
     MemoryBudgetExceeded,
     ParameterError,
     ReproError,
@@ -180,45 +181,66 @@ class ClusteringService:
         catch them directly.
         """
         entry = self.registry.get(dataset)
-        self.breaker.check(entry.name)
-        if tier is not None and tier not in TIERS:
-            raise ParameterError(f"unknown tier {tier!r}; choose from {TIERS}")
-        requested = tier or (
-            "approx" if rho is not None or algorithm == "approx" else "exact"
-        )
-        budget = (
-            float(time_budget)
-            if time_budget is not None
-            else self.policy.default_time_budget
-        )
-        deadline = as_deadline(budget)
         try:
-            self.admission.admit(deadline)
-        except ServiceOverloadError:
-            self.stats.rejected += 1
+            probe = self.breaker.check(entry.name)
+        except DatasetQuarantinedError:
+            self.stats.quarantined += 1
             raise
-        self.stats.accepted += 1
         try:
-            key = RequestKey.build(
-                entry.name, eps, min_pts, rho=rho, workers=workers,
-                algorithm=algorithm or ("approx" if requested != "exact" else "grid"),
+            if tier is not None and tier not in TIERS:
+                raise ParameterError(f"unknown tier {tier!r}; choose from {TIERS}")
+            requested = tier or (
+                "approx" if rho is not None or algorithm == "approx" else "exact"
             )
-            flight, leader = self.flights.acquire(key)
-            if not leader:
-                self.stats.coalesced += 1
-                return await self._await_flight(flight, deadline)
+            budget = (
+                float(time_budget)
+                if time_budget is not None
+                else self.policy.default_time_budget
+            )
+            deadline = as_deadline(budget)
             try:
-                response = await self._lead(entry, key, requested, deadline, workers)
-            except BaseException as exc:
-                self.flights.resolve_error(key, exc)
+                self.admission.admit(deadline)
+            except ServiceOverloadError:
+                self.stats.rejected += 1
                 raise
-            self.flights.resolve(key, response)
-            return response
-        except ServiceOverloadError:
-            self.stats.rejected += 1
-            raise
+            self.stats.accepted += 1
+            try:
+                key = RequestKey.build(
+                    entry.name, eps, min_pts, rho=rho, workers=workers,
+                    algorithm=algorithm
+                    or ("approx" if requested != "exact" else "grid"),
+                    requested=requested,
+                )
+                flight, leader = self.flights.acquire(key)
+                if not leader:
+                    self.stats.coalesced += 1
+                    return await self._await_flight(flight, deadline)
+                try:
+                    response = await self._lead(
+                        entry, key, requested, deadline, workers
+                    )
+                except BaseException as exc:
+                    self.flights.resolve_error(key, exc)
+                    raise
+                self.flights.resolve(key, response)
+                return response
+            except ServiceOverloadError:
+                # Every post-admission overload is a deadline expiry
+                # (queued for a slot, or waiting coalesced): the request
+                # was accepted, so count it apart from admission sheds —
+                # accepted and rejected stay a partition.
+                self.stats.expired += 1
+                raise
+            finally:
+                self.admission.release()
         finally:
-            self.admission.release()
+            # If this request held the half-open probe slot, guarantee it
+            # resolves: a no-op when record_success/record_failure already
+            # reported, otherwise (shed, invalid tier, budget verdict) the
+            # slot is freed so the breaker can probe again rather than
+            # quarantining the dataset forever.
+            if probe:
+                self.breaker.probe_aborted(entry.name)
 
     async def _await_flight(
         self, flight, deadline: Optional[Deadline]
@@ -312,7 +334,6 @@ class ClusteringService:
                 self.stats.retries += len(retry_log)
                 failures = self.breaker.record_failure(entry.name)
                 if failures >= self.policy.breaker_threshold:
-                    self.stats.quarantined += 1
                     _log.warning(
                         "service: circuit breaker OPEN for dataset %r after %d "
                         "consecutive failure(s): %s: %s",
@@ -391,12 +412,28 @@ class ClusteringService:
 
     # --------------------------------------------------------------- wire
 
+    @staticmethod
+    def _require(request: Dict[str, object], *fields: str) -> None:
+        """Reject a wire request that lacks required fields.
+
+        Explicit validation, not a blanket ``except KeyError`` around the
+        whole operation — a ``KeyError`` escaping library code is an
+        internal bug and must surface as one, not masquerade as a caller
+        mistake.
+        """
+        missing = [name for name in fields if name not in request]
+        if missing:
+            raise ParameterError(
+                "missing required field(s): " + ", ".join(missing)
+            )
+
     async def handle(self, request: Dict[str, object]) -> Optional[Dict[str, object]]:
         """Serve one wire-protocol request object; None answers ``shutdown``."""
         rid = request.get("id")
         op = request.get("op")
         try:
             if op == "cluster":
+                self._require(request, "dataset", "eps", "min_pts")
                 payload = await self.cluster(
                     request["dataset"],
                     request["eps"],
@@ -408,6 +445,7 @@ class ClusteringService:
                     tier=request.get("tier"),
                 )
             elif op == "register":
+                self._require(request, "name")
                 payload = self.register(
                     request["name"],
                     points=request.get("points"),
@@ -416,6 +454,7 @@ class ClusteringService:
                     on_bad_rows=request.get("on_bad_rows", "raise"),
                 )
             elif op == "unregister":
+                self._require(request, "name")
                 payload = {"removed": self.unregister(request["name"])}
             elif op == "datasets":
                 payload = self.datasets()
@@ -430,12 +469,6 @@ class ClusteringService:
                 raise ParameterError(f"unknown op {op!r}")
         except asyncio.CancelledError:
             raise
-        except KeyError as exc:
-            return {
-                "id": rid,
-                "ok": False,
-                "error": {"code": "parameter", "message": f"missing field {exc}"},
-            }
         except BaseException as exc:  # noqa: BLE001 - the wire must answer
             return {"id": rid, "ok": False, "error": error_payload(exc)}
         return {"id": rid, "ok": True, "result": payload}

@@ -78,6 +78,15 @@ class TestRequestKey:
         assert RequestKey.build("ds", 1.0, 5, workers=2) != base
         assert RequestKey.build("other", 1.0, 5) != base
 
+    def test_requested_tier_distinguishes_keys(self):
+        # An explicit sampled request must not share a flight with an
+        # approx one — coalescing must never downgrade quality.
+        approx = RequestKey.build("ds", 1.0, 5, algorithm="approx",
+                                  requested="approx")
+        sampled = RequestKey.build("ds", 1.0, 5, algorithm="approx",
+                                   requested="sampled")
+        assert approx != sampled
+
     def test_unhashable_workers_fall_back_to_repr(self):
         from repro.parallel import ParallelConfig
 
@@ -175,6 +184,37 @@ class TestCircuitBreaker:
         brk.record_failure("ds")  # probe failed
         with pytest.raises(DatasetQuarantinedError):
             brk.check("ds")
+
+    def test_check_reports_probe_ownership(self):
+        brk = CircuitBreaker(threshold=1, cooldown=0.01)
+        assert brk.check("ds") is False  # closed: not a probe
+        brk.record_failure("ds")
+        time.sleep(0.02)
+        assert brk.check("ds") is True  # the single half-open probe
+
+    def test_aborted_probe_frees_the_slot(self):
+        # Regression: a probe that exits without reaching
+        # record_success/record_failure (shed by admission, invalid
+        # parameters, budget verdict) must free the half-open slot — a
+        # leaked probing flag quarantined the dataset forever.
+        brk = CircuitBreaker(threshold=1, cooldown=0.01)
+        brk.record_failure("ds")
+        time.sleep(0.02)
+        assert brk.check("ds") is True
+        with pytest.raises(DatasetQuarantinedError):
+            brk.check("ds")  # slot taken
+        brk.probe_aborted("ds")  # probe never got a verdict
+        assert brk.check("ds") is True  # the next request may probe
+
+    def test_probe_aborted_after_verdict_is_noop(self):
+        brk = CircuitBreaker(threshold=1, cooldown=0.01)
+        brk.record_failure("ds")
+        time.sleep(0.02)
+        assert brk.check("ds") is True
+        brk.record_success("ds")
+        brk.probe_aborted("ds")  # late abort after success: no effect
+        assert brk.snapshot() == {}
+        assert brk.check("ds") is False
 
     def test_datasets_isolated(self):
         brk = CircuitBreaker(threshold=1, cooldown=60.0)
@@ -298,6 +338,31 @@ class TestCoalescing:
         client.cluster("blobs", EPS, MIN_PTS, timeout=120)
         assert client.service.registry.get("blobs").engine.runs_executed == 2
 
+    def test_sampled_and_approx_requests_do_not_coalesce(self, points):
+        # Regression: the key once conflated explicit "sampled" and
+        # "approx" requests, silently serving the approx caller the
+        # low-quality sampled result.
+        with ServiceClient(policy=AdmissionPolicy(max_queue=8)) as client:
+            client.register("blobs", points)
+            release = threading.Event()
+            started = threading.Event()
+            _blocking_execute(client.service, release, started)
+            leader = client.submit(
+                client.service.cluster("blobs", EPS, MIN_PTS, tier="sampled")
+            )
+            started.wait(timeout=30)
+            other = client.submit(
+                client.service.cluster("blobs", EPS, MIN_PTS, tier="approx")
+            )
+            release.set()
+            sampled = leader.result(timeout=120)
+            approx = other.result(timeout=120)
+            assert sampled["tier"] == "sampled"
+            assert approx["tier"] == "approx"  # not the sampled flight's
+            assert not approx["coalesced"]
+            assert client.stats()["coalesced"] == 0
+            assert client.stats()["executed"] == 2
+
 
 # ------------------------------------------------------ degradation + tiers
 
@@ -418,6 +483,7 @@ class TestOverload:
             stats = client.stats()
             assert stats["rejected"] == 6
             assert stats["accepted"] == 2
+            assert stats["expired"] == 0  # admission sheds, not expiries
             assert client.service.admission.depth == 0  # fully drained
 
     def test_waiter_deadline_enforced_while_coalesced(self, points):
@@ -441,6 +507,12 @@ class TestOverload:
             release.set()
             response = leader.result(timeout=60)
             assert response["tier"] == "exact"  # leader unaffected
+            stats = client.stats()
+            # The waiter was accepted, then shed post-admission: counted
+            # as expired, not rejected — accepted/rejected stay disjoint.
+            assert stats["accepted"] == 2
+            assert stats["expired"] == 1
+            assert stats["rejected"] == 0
 
     def test_expired_deadline_shed_before_any_work(self, client):
         with pytest.raises(ServiceOverloadError) as err:
@@ -515,3 +587,42 @@ class TestErrorPayloads:
 
     def test_overload_is_a_service_error(self):
         assert issubclass(ServiceOverloadError, ServiceError)
+
+
+# ------------------------------------------------------------- wire handler
+
+
+class TestWireHandle:
+    def _handle(self, client, request):
+        return client.submit(client.service.handle(request)).result(30)
+
+    def test_missing_fields_answer_parameter_error(self, client):
+        response = self._handle(
+            client, {"id": 1, "op": "cluster", "dataset": "blobs"}
+        )
+        assert response["ok"] is False
+        assert response["error"]["code"] == "parameter"
+        assert "eps" in response["error"]["message"]
+        assert "min_pts" in response["error"]["message"]
+
+    def test_register_requires_name(self, client):
+        response = self._handle(client, {"id": 2, "op": "register"})
+        assert response["ok"] is False
+        assert response["error"]["code"] == "parameter"
+        assert "name" in response["error"]["message"]
+
+    def test_internal_keyerror_not_masked_as_caller_mistake(self, client):
+        # Regression: a blanket ``except KeyError`` used to report any
+        # KeyError escaping library code as a missing request field.
+        async def boom(*args, **kwargs):
+            raise KeyError("internal-lookup")
+
+        client.service.cluster = boom
+        response = self._handle(
+            client,
+            {"id": 3, "op": "cluster", "dataset": "blobs",
+             "eps": EPS, "min_pts": MIN_PTS},
+        )
+        assert response["ok"] is False
+        assert response["error"]["code"] == "internal"
+        assert "KeyError" in response["error"]["message"]

@@ -18,6 +18,7 @@ from repro.api import dbscan
 from repro.errors import (
     DatasetQuarantinedError,
     ServiceError,
+    ServiceOverloadError,
     WorkerPoolError,
 )
 from repro.parallel import ParallelConfig
@@ -135,9 +136,16 @@ class TestHardFailuresAndBreaker:
                 client.cluster("blobs", EPS, MIN_PTS, timeout=60)
             assert err.value.failures == 2
             assert err.value.retry_after > 0
+            # ``quarantined`` counts every refused request, not the
+            # one-time breaker-opening event.
+            with pytest.raises(DatasetQuarantinedError):
+                client.cluster("blobs", EPS + 9, MIN_PTS, timeout=60)
             stats = client.stats()
-            assert stats["quarantined"] == 1
+            assert stats["quarantined"] == 2
             assert stats["executed"] == 0
+            # Quarantine happens before admission: accepted/rejected
+            # cover only the two requests that reached the engine.
+            assert stats["accepted"] == 2 and stats["rejected"] == 0
 
     def test_breaker_half_open_probe_restores_service(self, points, serial):
         policy = AdmissionPolicy(
@@ -161,6 +169,38 @@ class TestHardFailuresAndBreaker:
             time.sleep(0.06)
             result = client.cluster("blobs", EPS, MIN_PTS, timeout=180)
             assert_identical(serial, result, "post-probe")
+            assert client.service.breaker.snapshot() == {}
+
+    def test_shed_probe_does_not_wedge_the_breaker(self, points, serial):
+        # Regression: the half-open probe flag leaked when the probe
+        # request exited without an infrastructure verdict — here, shed
+        # by admission because its deadline was already expired.  The
+        # probing flag then stayed True forever and every later request
+        # raised DatasetQuarantinedError with no recovery path.
+        policy = AdmissionPolicy(
+            retry_attempts=1, breaker_threshold=1, breaker_cooldown=0.05
+        )
+        with ServiceClient(policy=policy) as client:
+            client.register("blobs", points)
+            real = client.service._execute
+
+            def execute(entry, job):
+                raise RuntimeError("injected: transient outage")
+
+            client.service._execute = execute
+            with pytest.raises(RuntimeError):
+                client.cluster("blobs", EPS, MIN_PTS, timeout=60)
+            client.service._execute = real
+            time.sleep(0.06)
+            # The probe request is shed before it reaches the engine.
+            with pytest.raises(ServiceOverloadError):
+                client.cluster(
+                    "blobs", EPS, MIN_PTS, time_budget=1e-9, timeout=60
+                )
+            # The slot was released: the next request probes, succeeds,
+            # and closes the breaker for everyone.
+            result = client.cluster("blobs", EPS, MIN_PTS, timeout=180)
+            assert_identical(serial, result, "post-aborted-probe")
             assert client.service.breaker.snapshot() == {}
 
     def test_budget_failures_do_not_trip_breaker(self, points):
