@@ -24,6 +24,8 @@ pytest like the other benches.
 
 from __future__ import annotations
 
+import argparse
+import json
 import os
 import time
 
@@ -31,7 +33,7 @@ import numpy as np
 
 from repro import dbscan
 from repro.data import seed_spreader
-from repro.parallel import ParallelConfig
+from repro.parallel import ParallelConfig, track_copy_bytes
 
 from . import config as cfg
 
@@ -46,6 +48,11 @@ CONFIGS = (
     ("small", cfg.DEFAULT_N, cfg.DEFAULT_EPS, 3),
     ("large", cfg.scaled(64000), 100.0, 2),
 )
+
+#: Required per-run transport-bytes reduction of the shm path vs pickled
+#: at >= 2 workers.  CPU-count independent: this measures what crosses the
+#: pipe, not how fast — a 1-core container asserts it just as honestly.
+TARGET_COPY_REDUCTION = 10.0
 
 
 def _time_run(points, eps, workers, repeats):
@@ -85,6 +92,55 @@ def measure_scaling(report=print):
     return all_speedups
 
 
+def measure_copy_bytes(report=print, n=None, eps=None):
+    """Per-run pickled transport bytes: pickled vs shm at 2 workers.
+
+    Both runs fan the same workload out over a 2-worker pool; the
+    :func:`~repro.parallel.track_copy_bytes` ledger counts every byte
+    that crosses the pipe (task items out, results back — the fork-
+    inherited initializer payload is shared, not copied).  The shm
+    transport replaces cell blocks and edge-pair lists with (start, stop)
+    ranges and results with slab-write acks, so its steady-state copy
+    traffic is ~zero.
+    """
+    d = 3
+    n = cfg.scaled(8000) if n is None else n
+    eps = cfg.DEFAULT_EPS if eps is None else eps
+    points = seed_spreader(n, d, seed=cfg.SEED + d).points
+    serial = dbscan(points, eps, cfg.MINPTS)
+    report(f"copy bytes per run — SS{d}D n={len(points)}, eps={eps:g}, "
+           f"MinPts={cfg.MINPTS}, workers=2")
+    out = {"n": int(len(points)), "eps": float(eps), "workers": 2}
+    for label, shm in (("pickled", False), ("shm", True)):
+        with track_copy_bytes() as ledger:
+            result = dbscan(
+                points, eps, cfg.MINPTS,
+                workers=ParallelConfig(workers=2, min_points=0, shm=shm),
+            )
+        assert np.array_equal(result.labels, serial.labels), (
+            f"{label} transport changed the labeling"
+        )
+        total = ledger["task_bytes"] + ledger["result_bytes"]
+        out[label] = {
+            "task_bytes": int(ledger["task_bytes"]),
+            "result_bytes": int(ledger["result_bytes"]),
+            "total_bytes": int(total),
+            "tasks": int(ledger["tasks"]),
+        }
+        report(f"    {label:8s}: {total:12,d} B  "
+               f"({ledger['task_bytes']:,d} out + {ledger['result_bytes']:,d} "
+               f"back over {ledger['tasks']} tasks)")
+    reduction = out["pickled"]["total_bytes"] / max(1, out["shm"]["total_bytes"])
+    out["reduction"] = float(reduction)
+    report(f"    reduction: {reduction:.1f}x (target >= "
+           f"{TARGET_COPY_REDUCTION:g}x)")
+    assert reduction >= TARGET_COPY_REDUCTION, (
+        f"shm transport only cut copy bytes {reduction:.1f}x "
+        f"(< {TARGET_COPY_REDUCTION:g}x) vs the pickled path"
+    )
+    return out
+
+
 def test_parallel_scaling(report):
     speedups = measure_scaling(report)
     cpus = os.cpu_count() or 1
@@ -97,8 +153,28 @@ def test_parallel_scaling(report):
         report(f"  ({cpus} cpu(s): {TARGET_SPEEDUP}x target not asserted)")
 
 
+def test_shm_copy_bytes(report):
+    measure_copy_bytes(report)
+
+
 if __name__ == "__main__":
-    speedups = measure_scaling()
-    cpus = os.cpu_count() or 1
-    ok = cpus < 4 or speedups["large"][4] >= TARGET_SPEEDUP
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="copy-bytes measurement only, at a reduced n "
+                             "(CI-friendly; skips the wall-clock sweep)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the copy-bytes report as JSON")
+    args = parser.parse_args()
+    ok = True
+    if args.smoke:
+        copy_report = measure_copy_bytes(n=cfg.scaled(2000))
+    else:
+        speedups = measure_scaling()
+        cpus = os.cpu_count() or 1
+        ok = cpus < 4 or speedups["large"][4] >= TARGET_SPEEDUP
+        copy_report = measure_copy_bytes()
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(copy_report, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
     raise SystemExit(0 if ok else 1)

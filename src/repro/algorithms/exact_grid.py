@@ -26,7 +26,12 @@ from typing import Optional
 
 from repro.core.params import DBSCANParams
 from repro.core.result import Clustering
-from repro.parallel.executor import WorkersLike, as_parallel_config, parallel_exact_components
+from repro.parallel.executor import (
+    WorkersLike,
+    as_parallel_config,
+    parallel_exact_components,
+    with_transport,
+)
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.deadline import Deadline, as_deadline
 from repro.runtime.memory import MemoryBudget, as_memory_budget
@@ -49,6 +54,7 @@ def exact_grid_dbscan(
     memory: Optional[MemoryBudget] = None,
     checkpoint: Optional[str] = None,
     workers: WorkersLike = None,
+    shm: object = None,
     hooks: Optional[PipelineHooks] = None,
 ) -> Clustering:
     """Exact DBSCAN via the grid + BCP algorithm of Theorem 2.
@@ -60,7 +66,10 @@ def exact_grid_dbscan(
     to, from which an identical invocation resumes.  ``workers`` (an int
     or a :class:`~repro.parallel.ParallelConfig`) fans the cores /
     components / borders phases out over a process pool; the labeling is
-    identical to the serial run (see ``docs/PARALLEL.md``).  ``hooks``
+    identical to the serial run (see ``docs/PARALLEL.md``); ``shm``
+    overrides the parallel transport (``True`` / ``False`` / ``"auto"``
+    for the zero-copy shared-memory path of :mod:`repro.parallel.shm`;
+    ``None`` keeps the config's ``REPRO_SHM`` default).  ``hooks``
     donates warm phase products and monotone-sweep seeds
     (:class:`~repro.runtime.pipeline.PipelineHooks`) — the reuse seam of
     :class:`repro.engine.ClusteringEngine`; the output is identical with
@@ -68,7 +77,7 @@ def exact_grid_dbscan(
     """
     params = DBSCANParams(eps, min_pts)
     pts = as_points(points)
-    cfg = as_parallel_config(workers)
+    cfg = with_transport(as_parallel_config(workers), shm=shm)
     guard = as_memory_budget(memory_budget_mb, memory)
     preunion = None if hooks is None else hooks.preunion
 
@@ -108,6 +117,7 @@ def gunawan_2d_dbscan(
     memory_budget_mb: Optional[float] = None,
     checkpoint: Optional[str] = None,
     workers: WorkersLike = None,
+    shm: object = None,
     hooks: Optional[PipelineHooks] = None,
 ) -> Clustering:
     """Gunawan's 2D O(n log n) algorithm (d = 2 only).
@@ -134,6 +144,7 @@ def gunawan_2d_dbscan(
         memory_budget_mb=memory_budget_mb,
         checkpoint=checkpoint,
         workers=workers,
+        shm=shm,
         hooks=hooks,
     )
     result.meta["algorithm"] = "gunawan2d"

@@ -143,6 +143,51 @@ def shard_timeout() -> Optional[float]:
     return _env_float("REPRO_SHARD_TIMEOUT", None, 0.0)
 
 
+def default_shm():
+    """Shared-memory transport default from ``REPRO_SHM``.
+
+    ``False`` when unset (pickled transport, the pre-PR-7 behaviour);
+    ``on``/``true``/``1``/``yes`` force the zero-copy path, ``off``/
+    ``false``/``0``/``no`` force pickling, and ``auto`` tries shared
+    memory but falls back to pickling if publication fails (no
+    ``/dev/shm``, segment quota).  Anything else raises
+    :class:`~repro.errors.ConfigError` naming the variable.
+    """
+    raw = os.environ.get("REPRO_SHM")
+    if raw is None or raw.strip() == "":
+        return False
+    value = raw.strip().lower()
+    if value in ("on", "true", "1", "yes"):
+        return True
+    if value in ("off", "false", "0", "no"):
+        return False
+    if value == "auto":
+        return "auto"
+    raise ConfigError(
+        f"invalid REPRO_SHM={raw!r}: expected on/off/auto (or true/false/1/0/yes/no)"
+    )
+
+
+def default_backend() -> str:
+    """Fan-out backend default from ``REPRO_BACKEND``.
+
+    ``process`` (the multiprocessing pool) when unset; ``thread`` runs the
+    phase tasks on an in-process thread pool — zero-copy by construction
+    and the right choice when the GIL-releasing numpy kernels dominate and
+    pickling was the only parallelism cost.  Anything else raises
+    :class:`~repro.errors.ConfigError`.
+    """
+    raw = os.environ.get("REPRO_BACKEND")
+    if raw is None or raw.strip() == "":
+        return "process"
+    value = raw.strip().lower()
+    if value in ("process", "thread"):
+        return value
+    raise ConfigError(
+        f"invalid REPRO_BACKEND={raw!r}: expected 'process' or 'thread'"
+    )
+
+
 def chunk_budget() -> int:
     """Pairwise-kernel chunk budget from ``REPRO_CHUNK_BUDGET``.
 

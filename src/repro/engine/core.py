@@ -152,6 +152,7 @@ class ClusteringEngine:
         deadline: Optional[Deadline] = None,
         memory_budget_mb: Optional[float] = None,
         workers=None,
+        shm: object = None,
         bcp_strategy: str = "auto",
         index: str = "rtree",
     ) -> Clustering:
@@ -171,7 +172,7 @@ class ClusteringEngine:
             return self._run_grid(
                 eps, min_pts, algorithm=algorithm, bcp_strategy=bcp_strategy,
                 time_budget=time_budget, deadline=deadline,
-                memory_budget_mb=memory_budget_mb, workers=workers,
+                memory_budget_mb=memory_budget_mb, workers=workers, shm=shm,
             )
         if algorithm == "kdd96":
             from repro.algorithms.kdd96 import kdd96_dbscan
@@ -215,6 +216,7 @@ class ClusteringEngine:
         deadline: Optional[Deadline] = None,
         memory_budget_mb: Optional[float] = None,
         workers=None,
+        shm: object = None,
     ) -> Clustering:
         """rho-approximate DBSCAN through the engine's structure cache.
 
@@ -233,7 +235,8 @@ class ClusteringEngine:
         return self._run_grid(
             eps, min_pts, algorithm="approx", rho=rho,
             exact_leaf_size=exact_leaf_size, time_budget=time_budget,
-            deadline=deadline, memory_budget_mb=memory_budget_mb, workers=workers,
+            deadline=deadline, memory_budget_mb=memory_budget_mb,
+            workers=workers, shm=shm,
         )
 
     def sweep(
@@ -247,6 +250,7 @@ class ClusteringEngine:
         time_budget: Optional[float] = None,
         memory_budget_mb: Optional[float] = None,
         workers=None,
+        shm: object = None,
     ) -> List[Clustering]:
         """Cluster the dataset at every ``eps`` of ``eps_list`` incrementally.
 
@@ -291,7 +295,7 @@ class ClusteringEngine:
                 algorithm="approx" if algorithm == "approx" else "grid",
                 rho=rho, exact_leaf_size=exact_leaf_size,
                 deadline=deadline, memory_budget_mb=memory_budget_mb,
-                workers=self.workers if workers is None else workers,
+                workers=self.workers if workers is None else workers, shm=shm,
                 known_core=known_core, preunion=preunion,
             )
             results[pos] = result
@@ -313,6 +317,7 @@ class ClusteringEngine:
         deadline: Optional[Deadline] = None,
         memory_budget_mb: Optional[float] = None,
         workers=None,
+        shm: object = None,
         known_core: Optional[np.ndarray] = None,
         preunion=None,
     ) -> Clustering:
@@ -351,7 +356,8 @@ class ClusteringEngine:
             result = approx_dbscan(
                 self.points, eps, min_pts, rho, exact_leaf_size,
                 time_budget=time_budget, deadline=deadline,
-                memory_budget_mb=memory_budget_mb, workers=workers, hooks=hooks,
+                memory_budget_mb=memory_budget_mb, workers=workers, shm=shm,
+                hooks=hooks,
             )
         elif algorithm == "gunawan2d":
             from repro.algorithms.exact_grid import gunawan_2d_dbscan
@@ -361,7 +367,8 @@ class ClusteringEngine:
                     "kdtree" if bcp_strategy == "auto" else bcp_strategy
                 ),
                 time_budget=time_budget, deadline=deadline,
-                memory_budget_mb=memory_budget_mb, workers=workers, hooks=hooks,
+                memory_budget_mb=memory_budget_mb, workers=workers, shm=shm,
+                hooks=hooks,
             )
         else:
             from repro.algorithms.exact_grid import exact_grid_dbscan
@@ -369,7 +376,8 @@ class ClusteringEngine:
             result = exact_grid_dbscan(
                 self.points, eps, min_pts, bcp_strategy=bcp_strategy,
                 time_budget=time_budget, deadline=deadline,
-                memory_budget_mb=memory_budget_mb, workers=workers, hooks=hooks,
+                memory_budget_mb=memory_budget_mb, workers=workers, shm=shm,
+                hooks=hooks,
             )
         # Harvest: the run's products are exactly what a later call (or the
         # next sweep step) would rebuild — put them where it will look.

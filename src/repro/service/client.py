@@ -108,6 +108,7 @@ class ServiceClient:
         rho: Optional[float] = None,
         algorithm: Optional[str] = None,
         workers=None,
+        shm=None,
         time_budget: Optional[float] = None,
         tier: Optional[str] = None,
         timeout: Optional[float] = None,
@@ -122,7 +123,7 @@ class ServiceClient:
         response = self._call(
             self.service.cluster(
                 dataset, eps, min_pts, rho=rho, algorithm=algorithm,
-                workers=workers, time_budget=time_budget, tier=tier,
+                workers=workers, shm=shm, time_budget=time_budget, tier=tier,
             ),
             timeout=timeout,
         )
@@ -152,6 +153,7 @@ class ServiceClient:
                     rho=req.get("rho"),
                     algorithm=req.get("algorithm"),
                     workers=req.get("workers"),
+                    shm=req.get("shm"),
                     time_budget=req.get("time_budget"),
                     tier=req.get("tier"),
                 )

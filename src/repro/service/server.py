@@ -169,6 +169,7 @@ class ClusteringService:
         rho: Optional[float] = None,
         algorithm: Optional[str] = None,
         workers=None,
+        shm=None,
         time_budget: Optional[float] = None,
         tier: Optional[str] = None,
     ) -> Dict[str, object]:
@@ -210,6 +211,7 @@ class ClusteringService:
                     algorithm=algorithm
                     or ("approx" if requested != "exact" else "grid"),
                     requested=requested,
+                    shm=shm,
                 )
                 flight, leader = self.flights.acquire(key)
                 if not leader:
@@ -217,7 +219,7 @@ class ClusteringService:
                     return await self._await_flight(flight, deadline)
                 try:
                     response = await self._lead(
-                        entry, key, requested, deadline, workers
+                        entry, key, requested, deadline, workers, shm
                     )
                 except BaseException as exc:
                     self.flights.resolve_error(key, exc)
@@ -278,6 +280,7 @@ class ClusteringService:
         requested: str,
         deadline: Optional[Deadline],
         workers=None,
+        shm=None,
     ) -> Dict[str, object]:
         """Run the single computation every coalesced waiter shares."""
         loop = asyncio.get_running_loop()
@@ -301,6 +304,7 @@ class ClusteringService:
                 # The original object, not the key's hash-safe repr — a
                 # ParallelConfig must reach the engine intact.
                 "workers": workers,
+                "shm": shm,
                 "tier": tier,
                 "deadline": deadline,
             }
@@ -400,6 +404,7 @@ class ClusteringService:
                 deadline=deadline,
                 memory_budget_mb=self.policy.memory_budget_mb,
                 workers=job["workers"],
+                shm=job["shm"],
             )
         return engine.dbscan(
             job["eps"],
@@ -408,6 +413,7 @@ class ClusteringService:
             deadline=deadline,
             memory_budget_mb=self.policy.memory_budget_mb,
             workers=job["workers"],
+            shm=job["shm"],
         )
 
     # --------------------------------------------------------------- wire
@@ -441,6 +447,7 @@ class ClusteringService:
                     rho=request.get("rho"),
                     algorithm=request.get("algorithm"),
                     workers=request.get("workers"),
+                    shm=request.get("shm"),
                     time_budget=request.get("time_budget"),
                     tier=request.get("tier"),
                 )
