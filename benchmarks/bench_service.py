@@ -12,6 +12,13 @@ A second measurement drives the coalescing path: a burst of identical
 concurrent requests must execute the engine exactly once and finish in
 roughly one computation's wall time, not N of them.
 
+A third measurement prices the fair scheduler: the same mixed-tenant
+burst of *distinct* warm requests runs through the deficit-round-robin
+scheduler (``fair=True``) and the legacy FIFO semaphore
+(``fair=False``), interleaved to cancel machine drift, and the fair
+path must cost within ``FAIRNESS_BUDGET_PCT`` of FIFO — fairness is
+bookkeeping on the dispatch path, not extra work per request.
+
 Run standalone::
 
     python -m benchmarks.bench_service --smoke --json BENCH_service.json
@@ -40,6 +47,16 @@ OVERHEAD_BUDGET_S = 0.25
 
 #: Identical concurrent requests in the coalescing burst.
 BURST = 16
+
+#: Acceptable median cost of deficit-round-robin dispatch over the legacy
+#: FIFO semaphore, as a percentage of the FIFO burst wall time.
+FAIRNESS_BUDGET_PCT = 5.0
+
+#: Distinct concurrent requests (two tenants) in each fairness burst.
+FAIRNESS_BURST = 24
+
+#: Interleaved fair/FIFO repetitions; medians cancel one-off stalls.
+FAIRNESS_REPEATS = 5
 
 FULL_CONFIG = ("full", 20_000, 3, 10)
 SMOKE_CONFIG = ("smoke", 4_000, 3, 10)
@@ -112,6 +129,65 @@ def measure(config, report=print):
     return stats
 
 
+def measure_fairness(config, report=print):
+    """Price deficit-round-robin dispatch against the FIFO semaphore.
+
+    Identical mixed-tenant bursts of *distinct* warm requests (no
+    coalescing, structures pre-built) run through both dispatch paths,
+    interleaved FIFO/fair so machine drift hits both medians equally.
+    """
+    name, n, d, _ = config
+    points = seed_spreader(n, d, seed=cfg.SEED + d).points
+    min_pts = cfg.MINPTS
+    eps_grid = [cfg.DEFAULT_EPS * (1.0 + 0.02 * i) for i in range(FAIRNESS_BURST)]
+    requests = [
+        {"dataset": "bench", "eps": eps, "min_pts": min_pts,
+         "tenant": "gold" if i % 2 else "blue"}
+        for i, eps in enumerate(eps_grid)
+    ]
+
+    def client_for(fair):
+        client = ServiceClient(
+            policy=AdmissionPolicy(max_queue=128, max_concurrency=4, fair=fair))
+        client.register("bench", points)
+        client.cluster_many(requests, return_exceptions=False)  # warm structures
+        return client
+
+    clients = {False: client_for(False), True: client_for(True)}
+    times = {False: [], True: []}
+    try:
+        for _ in range(FAIRNESS_REPEATS):
+            for fair in (False, True):
+                t0 = time.perf_counter()
+                results = clients[fair].cluster_many(
+                    requests, return_exceptions=False)
+                times[fair].append(time.perf_counter() - t0)
+                assert len(results) == FAIRNESS_BURST
+    finally:
+        for client in clients.values():
+            client.close()
+
+    fifo_s = statistics.median(times[False])
+    fair_s = statistics.median(times[True])
+    overhead_pct = (fair_s - fifo_s) / fifo_s * 100.0 if fifo_s else 0.0
+    stats = {
+        "config": name,
+        "fairness_burst": FAIRNESS_BURST,
+        "fairness_repeats": FAIRNESS_REPEATS,
+        "fifo_burst_ms": fifo_s * 1e3,
+        "fair_burst_ms": fair_s * 1e3,
+        "fairness_overhead_pct": overhead_pct,
+        "fairness_budget_pct": FAIRNESS_BUDGET_PCT,
+    }
+    report(f"fair scheduling overhead — {FAIRNESS_BURST} distinct warm "
+           f"requests, 2 tenants, median of {FAIRNESS_REPEATS} bursts")
+    report(f"  FIFO semaphore     : {stats['fifo_burst_ms']:8.2f} ms/burst")
+    report(f"  deficit round-robin: {stats['fair_burst_ms']:8.2f} ms/burst")
+    report(f"  overhead           : {overhead_pct:8.2f} % "
+           f"(budget {FAIRNESS_BUDGET_PCT:.0f} %)")
+    return stats
+
+
 def test_service_overhead_smoke(report):
     """CI smoke: bounded per-request overhead, exactly-once coalescing."""
     stats = measure(SMOKE_CONFIG, report)
@@ -125,6 +201,15 @@ def test_service_overhead_smoke(report):
     )
 
 
+def test_fairness_overhead_smoke(report):
+    """CI smoke: deficit-round-robin dispatch costs <5% over FIFO."""
+    stats = measure_fairness(SMOKE_CONFIG, report)
+    assert stats["fairness_overhead_pct"] < FAIRNESS_BUDGET_PCT, (
+        f"fair scheduling adds {stats['fairness_overhead_pct']:.1f}% over "
+        f"FIFO (> {FAIRNESS_BUDGET_PCT:.0f}%); the dispatch path has regressed"
+    )
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
@@ -134,15 +219,18 @@ def main(argv=None):
     args = parser.parse_args(argv)
     config = SMOKE_CONFIG if args.smoke else FULL_CONFIG
     stats = measure(config)
+    stats.update(measure_fairness(config))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(stats, fh, indent=2)
         print(f"wrote {args.json}")
     ok = (stats["overhead_ms"] < OVERHEAD_BUDGET_S * 1e3
-          and stats["burst_runs"] == 1)
+          and stats["burst_runs"] == 1
+          and stats["fairness_overhead_pct"] < FAIRNESS_BUDGET_PCT)
     if not ok:
-        print(f"FAIL: overhead {stats['overhead_ms']:.1f} ms or "
-              f"burst executions {stats['burst_runs']} out of budget")
+        print(f"FAIL: overhead {stats['overhead_ms']:.1f} ms, "
+              f"burst executions {stats['burst_runs']}, or fairness "
+              f"overhead {stats['fairness_overhead_pct']:.1f}% out of budget")
     return 0 if ok else 1
 
 

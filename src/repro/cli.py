@@ -258,8 +258,11 @@ def _cmd_collapse(args) -> int:
 
 def _cmd_serve(args) -> int:
     import asyncio
+    import signal
 
     from repro.service import AdmissionPolicy, ClusteringService, DatasetRegistry
+    from repro.service.metrics import serve_metrics
+    from repro.service.store import open_store
 
     policy = AdmissionPolicy(
         max_queue=args.max_queue,
@@ -271,11 +274,33 @@ def _cmd_serve(args) -> int:
         retry_attempts=args.retry_attempts,
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown=args.breaker_cooldown,
+        fair=not args.no_fair,
+        tenant_max_queue=args.tenant_max_queue,
+        tenant_max_inflight=args.tenant_max_inflight,
+        drain_timeout=args.drain_timeout,
     )
     registry = DatasetRegistry(
-        tenant_quota_mb=args.tenant_quota_mb, workers=args.workers
+        tenant_quota_mb=args.tenant_quota_mb,
+        workers=args.workers,
+        store=open_store(args.store_dir),
+        warm_on_recover=args.warm_on_recover,
     )
+    for note in registry.recovered:
+        print(f"recovery: {note}", file=sys.stderr)
+    if registry.store.persistent:
+        print(
+            f"recovered {len(registry)} dataset(s) from {args.store_dir}",
+            file=sys.stderr,
+        )
     service = ClusteringService(registry, policy)
+    for spec in args.tenant_weight or ():
+        name, _, weight = spec.partition("=")
+        if not name or not weight:
+            raise ConfigError(f"--tenant-weight takes NAME=WEIGHT; got {spec!r}")
+        try:
+            registry.configure_tenant(name, weight=float(weight))
+        except ValueError:
+            raise ConfigError(f"--tenant-weight weight must be a number; got {spec!r}")
     for spec in args.dataset or ():
         name, _, path = spec.partition("=")
         if not name or not path:
@@ -286,7 +311,33 @@ def _cmd_serve(args) -> int:
             file=sys.stderr,
         )
 
+    def install_sigterm(loop) -> None:
+        # SIGTERM starts the drain protocol: refuse new work, let
+        # in-flight requests finish inside the drain budget, flush the
+        # journal, exit 0.  A second SIGTERM during the drain still only
+        # drains once (the event is already set when it finishes).
+        def on_sigterm() -> None:
+            asyncio.ensure_future(service.drain())
+
+        try:
+            loop.add_signal_handler(signal.SIGTERM, on_sigterm)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # platforms without signal-handler support
+
+    async def maybe_metrics():
+        if args.metrics_port is None:
+            return None
+        server = await serve_metrics(service, args.host, args.metrics_port)
+        sockname = server.sockets[0].getsockname()
+        print(
+            f"metrics on http://{sockname[0]}:{sockname[1]}/metrics",
+            file=sys.stderr, flush=True,
+        )
+        return server
+
     async def run_tcp() -> None:
+        install_sigterm(asyncio.get_running_loop())
+        metrics_server = await maybe_metrics()
         server = await service.serve_tcp(args.host, args.port)
         sockname = server.sockets[0].getsockname()
         # The banner goes to stderr so stdout stays a pure response
@@ -294,16 +345,28 @@ def _cmd_serve(args) -> int:
         print(f"serving on {sockname[0]}:{sockname[1]}", file=sys.stderr, flush=True)
         async with server:
             await service.shutdown_event().wait()
+        if metrics_server is not None:
+            metrics_server.close()
+            await metrics_server.wait_closed()
+
+    async def run_stdio() -> None:
+        install_sigterm(asyncio.get_running_loop())
+        metrics_server = await maybe_metrics()
+        await service.serve_stdio()
+        if metrics_server is not None:
+            metrics_server.close()
+            await metrics_server.wait_closed()
 
     try:
         if args.port is not None:
             asyncio.run(run_tcp())
         else:
-            asyncio.run(service.serve_stdio())
+            asyncio.run(run_stdio())
     except KeyboardInterrupt:  # pragma: no cover - interactive exit
         pass
     finally:
         service.close()
+        registry.close()
     return 0
 
 
@@ -468,6 +531,41 @@ def build_parser() -> argparse.ArgumentParser:
                           "half-open probe")
     srv.add_argument("--workers", type=int, default=None,
                      help="worker processes per engine execution")
+    srv.add_argument("--store-dir", dest="store_dir", default=None,
+                     help="persist the dataset catalog (snapshot + "
+                          "append-only journal + payload files) under this "
+                          "directory; a restart with the same directory "
+                          "recovers every dataset and tenant config")
+    srv.add_argument("--warm-on-recover", dest="warm_on_recover",
+                     action="store_true",
+                     help="rebuild each recovered dataset's journaled "
+                          "warm-eps grids before serving (slower start, "
+                          "no cold first request)")
+    srv.add_argument("--no-fair", dest="no_fair", action="store_true",
+                     help="use the legacy FIFO execution gate instead of "
+                          "weighted fair queueing (benchmark baseline)")
+    srv.add_argument("--tenant-weight", dest="tenant_weight",
+                     action="append", metavar="NAME=WEIGHT",
+                     help="fair-queueing weight for a tenant (repeatable; "
+                          "default 1.0; persisted when --store-dir is set)")
+    srv.add_argument("--tenant-max-queue", dest="tenant_max_queue",
+                     type=int, default=None,
+                     help="default per-tenant bound on queued requests "
+                          "(per-tenant overrides via the 'tenant' op)")
+    srv.add_argument("--tenant-max-inflight", dest="tenant_max_inflight",
+                     type=int, default=None,
+                     help="default per-tenant bound on concurrently "
+                          "executing requests")
+    srv.add_argument("--drain-timeout", dest="drain_timeout", type=float,
+                     default=30.0,
+                     help="seconds SIGTERM gives in-flight requests to "
+                          "finish before the journal is flushed and the "
+                          "process exits 0")
+    srv.add_argument("--metrics-port", dest="metrics_port", type=int,
+                     default=None,
+                     help="serve GET /metrics (Prometheus text) and "
+                          "/healthz on this localhost port (0 = pick a "
+                          "free port, printed to stderr)")
     srv.set_defaults(func=_cmd_serve)
 
     col = sub.add_parser("collapse", help="find the collapsing radius")

@@ -24,9 +24,12 @@ non-empty file.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import os
-from typing import List, Tuple
+import threading
+from collections import OrderedDict
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -38,6 +41,33 @@ _log = get_logger("data.io")
 
 #: Valid ``on_bad_rows`` modes, in documentation order.
 BAD_ROW_MODES: Tuple[str, ...] = ("raise", "drop", "quarantine")
+
+#: Parsed files retained by the content-fingerprint cache (LRU).
+PARSE_CACHE_MAX = 16
+
+# Content-fingerprint parse cache: re-registering the same file (or the
+# service reloading its catalog after a restart) must not pay the
+# row-by-row screening again, and must *never* write a second quarantine
+# sidecar for rows the first load already preserved.  Keyed by the
+# sha256 of the raw bytes — a renamed copy of the file hits, an edited
+# file (even same mtime/size) misses.
+_parse_cache: "OrderedDict[str, Tuple[np.ndarray, tuple, Optional[str]]]" = OrderedDict()
+_parse_cache_lock = threading.Lock()
+
+
+def content_fingerprint(path: str) -> str:
+    """sha256 of the file's raw bytes (streamed; the parse-cache key)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def clear_parse_cache() -> None:
+    """Drop every cached parse (tests; long-lived processes never need to)."""
+    with _parse_cache_lock:
+        _parse_cache.clear()
 
 
 def save_points(points: np.ndarray, path: str) -> None:
@@ -130,13 +160,23 @@ def _write_quarantine(path: str, bad: List[Tuple[int, str, str]]) -> str:
     )
 
 
-def load_points(path: str, *, on_bad_rows: str = "raise") -> np.ndarray:
+def load_points(path: str, *, on_bad_rows: str = "raise", cache: bool = False) -> np.ndarray:
     """Load a point set saved by :func:`save_points` (or compatible files).
 
     ``on_bad_rows`` selects the policy for rows that fail screening (see
     the module docstring): ``"raise"`` (default), ``"drop"`` or
     ``"quarantine"``.  Raises :class:`~repro.errors.InvalidDataError` in
     ``"raise"`` mode, or whenever *no* valid row survives.
+
+    ``cache=True`` consults the content-fingerprint parse cache: a file
+    whose raw bytes were already parsed by this process is answered from
+    memory — no re-screening, and crucially no *second* quarantine
+    sidecar for bad rows the first load already preserved.  The policy
+    still applies on a hit (``"raise"`` raises for a cached file with bad
+    rows); only the parsing and the sidecar write are skipped.  Off by
+    default: one-shot CLI runs gain nothing from it, and callers that
+    expect a fresh sidecar per load (the PR 3 ingestion contract) keep
+    that behaviour.
     """
     if on_bad_rows not in BAD_ROW_MODES:
         raise DataError(
@@ -144,14 +184,29 @@ def load_points(path: str, *, on_bad_rows: str = "raise") -> np.ndarray:
         )
     if not os.path.exists(path):
         raise DataError(f"no such file: {path}")
-    ext = os.path.splitext(path)[1].lower()
-    if ext == ".npy":
-        good_arr, bad = _screen_array(np.load(path))
-    elif ext in (".csv", ".txt"):
-        good, bad = _parse_csv(path)
-        good_arr = np.asarray(good, dtype=np.float64)
-    else:
-        raise DataError(f"unsupported extension {ext!r}; use .npy, .csv or .txt")
+
+    fingerprint = None
+    cached_side = None
+    cache_hit = False
+    if cache:
+        fingerprint = content_fingerprint(path)
+        with _parse_cache_lock:
+            hit = _parse_cache.get(fingerprint)
+            if hit is not None:
+                _parse_cache.move_to_end(fingerprint)
+                good_arr, bad, cached_side = hit
+                bad = list(bad)
+                cache_hit = True
+
+    if not cache_hit:
+        ext = os.path.splitext(path)[1].lower()
+        if ext == ".npy":
+            good_arr, bad = _screen_array(np.load(path))
+        elif ext in (".csv", ".txt"):
+            good, bad = _parse_csv(path)
+            good_arr = np.asarray(good, dtype=np.float64)
+        else:
+            raise DataError(f"unsupported extension {ext!r}; use .npy, .csv or .txt")
 
     if bad:
         reasons = [f"line {lineno}: {reason}" for lineno, _, reason in bad]
@@ -164,14 +219,21 @@ def load_points(path: str, *, on_bad_rows: str = "raise") -> np.ndarray:
                 reasons=reasons,
             )
         if on_bad_rows == "quarantine":
-            side = _write_quarantine(path, bad)
-            _log.warning(
-                "%s: quarantined %d invalid row(s) to %s; clustering %d valid row(s)",
-                path,
-                len(bad),
-                side,
-                len(good_arr),
-            )
+            if cache_hit and cached_side is not None:
+                _log.info(
+                    "%s: %d invalid row(s) already quarantined to %s by an "
+                    "earlier load of the same content; not writing a new sidecar",
+                    path, len(bad), cached_side,
+                )
+            else:
+                cached_side = _write_quarantine(path, bad)
+                _log.warning(
+                    "%s: quarantined %d invalid row(s) to %s; clustering %d valid row(s)",
+                    path,
+                    len(bad),
+                    cached_side,
+                    len(good_arr),
+                )
         else:
             _log.warning(
                 "%s: dropped %d invalid row(s) (%s%s); clustering %d valid row(s)",
@@ -181,4 +243,12 @@ def load_points(path: str, *, on_bad_rows: str = "raise") -> np.ndarray:
                 "; ..." if len(reasons) > 3 else "",
                 len(good_arr),
             )
-    return as_points(good_arr, allow_empty=False)
+
+    points = as_points(good_arr, allow_empty=False)
+    if cache and fingerprint is not None:
+        with _parse_cache_lock:
+            _parse_cache[fingerprint] = (points, tuple(bad), cached_side)
+            _parse_cache.move_to_end(fingerprint)
+            while len(_parse_cache) > PARSE_CACHE_MAX:
+                _parse_cache.popitem(last=False)
+    return points

@@ -246,6 +246,21 @@ class DatasetQuarantinedError(ServiceError):
         return (DatasetQuarantinedError, (self.name, self.failures, self.retry_after))
 
 
+class RegistryStoreError(ServiceError):
+    """The registry's backing store refused or lost an operation.
+
+    Raised by :mod:`repro.service.store` for problems with the persistence
+    layer itself — a missing or unreadable payload file, an append on a
+    closed store, an invalid store configuration.  Torn journals and
+    corrupt snapshots do *not* raise: recovery truncates to the last valid
+    record and quarantines the rest (see ``docs/SERVICE.md``), because a
+    service that refuses to start over one torn write is worse than one
+    that restarts with the catalog it can prove.
+    """
+
+    code = "store"
+
+
 class WorkerPoolError(ReproError, RuntimeError):
     """The supervised worker pool failed beyond its recovery budgets.
 

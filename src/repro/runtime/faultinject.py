@@ -179,6 +179,47 @@ class FaultPlan:
 
 _active: Optional[FaultPlan] = None
 
+#: Journal appends observed by :func:`maybe_crash_after_journal_write`
+#: since process start (the env-driven crash hook is 1-based on this).
+_journal_appends = 0
+
+
+def maybe_crash_after_journal_write(fh=None) -> None:
+    """Env-driven ``kill -9`` equivalent for registry-journal appends.
+
+    The restart oracle needs a server that dies *mid-journal-write*, and
+    the server under test is a subprocess — a ``with inject_faults(...)``
+    block in the test process cannot reach it.  Two environment variables
+    stage the crash instead:
+
+    * ``REPRO_FAULT_JOURNAL_CRASH=N`` — ``os._exit(137)`` (the observable
+      shape of ``kill -9``) immediately after the N-th journal append of
+      the process;
+    * ``REPRO_FAULT_JOURNAL_TORN=1`` — additionally flush half of a fake
+      journal record (no CRC match, no trailing newline) before dying, so
+      the survivor file ends in a genuinely torn write the next load must
+      truncate and quarantine.
+
+    Called by :meth:`repro.service.store.FileStore.append` with the open
+    journal handle; a no-op unless the variables are set.
+    """
+    global _journal_appends
+    spec = os.environ.get("REPRO_FAULT_JOURNAL_CRASH")
+    if not spec:
+        return
+    try:
+        after = int(spec)
+    except ValueError:
+        return
+    _journal_appends += 1
+    if _journal_appends < after:
+        return
+    if os.environ.get("REPRO_FAULT_JOURNAL_TORN") and fh is not None:
+        fh.write('00000000 {"op":"register","name":"torn-mid-wr')
+        fh.flush()
+        os.fsync(fh.fileno())
+    os._exit(_KILL_STATUS)
+
 
 @contextmanager
 def inject_faults(

@@ -99,6 +99,20 @@ class AdmissionPolicy:
     retry_attempts: int = 2
     breaker_threshold: int = 3
     breaker_cooldown: float = 30.0
+    #: Weighted fair queueing across tenants (deficit round robin +
+    #: per-tenant deadline/priority ordering); ``False`` restores the
+    #: PR 6 first-come-first-served semaphore (the benchmark baseline).
+    fair: bool = True
+    #: Default per-tenant bound on *outstanding* (queued + running)
+    #: requests; ``None`` leaves only ``max_queue``.  Per-tenant
+    #: overrides come from the registry's :class:`TenantConfig`.
+    tenant_max_queue: Optional[int] = None
+    #: Default per-tenant bound on concurrently *executing* requests;
+    #: ``None`` bounds only by ``max_concurrency``.
+    tenant_max_inflight: Optional[int] = None
+    #: Seconds a draining service waits for in-flight work before the
+    #: executor is torn down regardless (the SIGTERM drain budget).
+    drain_timeout: float = 30.0
 
     def __post_init__(self) -> None:
         if int(self.max_queue) < 1:
@@ -124,6 +138,14 @@ class AdmissionPolicy:
             raise ParameterError(
                 f"breaker_threshold must be >= 1; got {self.breaker_threshold}"
             )
+        for name in ("tenant_max_queue", "tenant_max_inflight"):
+            value = getattr(self, name)
+            if value is not None and int(value) < 1:
+                raise ParameterError(f"{name} must be >= 1 (or None); got {value}")
+        if not float(self.drain_timeout) >= 0:
+            raise ParameterError(
+                f"drain_timeout must be >= 0; got {self.drain_timeout}"
+            )
 
 
 class AdmissionController:
@@ -133,6 +155,8 @@ class AdmissionController:
         self.policy = policy
         self._lock = threading.Lock()
         self._depth = 0
+        self._tenant_depth: Dict[str, int] = {}
+        self._draining = False
         self.memory = (
             MemoryBudget(policy.memory_budget_mb)
             if policy.memory_budget_mb is not None
@@ -144,18 +168,42 @@ class AdmissionController:
         with self._lock:
             return self._depth
 
+    def tenant_depth(self, tenant: str) -> int:
+        """Outstanding requests of one tenant."""
+        with self._lock:
+            return self._tenant_depth.get(str(tenant), 0)
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def start_draining(self) -> None:
+        """Refuse all new work from now on (the drain protocol's step 1)."""
+        with self._lock:
+            self._draining = True
+
     def pressure(self) -> float:
         """Outstanding requests as a fraction of the admission bound."""
         with self._lock:
             return self._depth / float(self.policy.max_queue)
 
-    def admit(self, deadline: Optional[Deadline] = None) -> None:
+    def admit(
+        self,
+        deadline: Optional[Deadline] = None,
+        tenant: str = "default",
+        tenant_quota: Optional[int] = None,
+    ) -> None:
         """Count one request in, or shed it with a structured error.
 
-        Sheds when the queue is at its bound, and also when the request's
-        deadline is *already* expired — accepting work that cannot
-        possibly answer in time only steals capacity from work that can.
+        Sheds when the queue is at its bound, when the *tenant's* share
+        of it is at its quota (``tenant_quota`` falls back to the
+        policy's ``tenant_max_queue``), when the request's deadline is
+        *already* expired — accepting work that cannot possibly answer in
+        time only steals capacity from work that can — and when the
+        service is draining for shutdown.
         """
+        tenant = str(tenant)
         if deadline is not None and deadline.expired():
             raise ServiceOverloadError(
                 "request deadline expired before admission",
@@ -163,7 +211,16 @@ class AdmissionController:
                 queue_depth=self.depth,
                 limit=self.policy.max_queue,
             )
+        quota = tenant_quota if tenant_quota is not None else self.policy.tenant_max_queue
         with self._lock:
+            if self._draining:
+                raise ServiceOverloadError(
+                    "service is draining for shutdown",
+                    reason="draining",
+                    queue_depth=self._depth,
+                    limit=self.policy.max_queue,
+                    retry_after=float(self.policy.drain_timeout),
+                )
             if self._depth >= self.policy.max_queue:
                 raise ServiceOverloadError(
                     f"queue is full ({self._depth}/{self.policy.max_queue} "
@@ -174,12 +231,29 @@ class AdmissionController:
                     # Honest hint: one execution slot's worth of patience.
                     retry_after=1.0,
                 )
+            held = self._tenant_depth.get(tenant, 0)
+            if quota is not None and held >= int(quota):
+                raise ServiceOverloadError(
+                    f"tenant {tenant!r} already has {held} request(s) "
+                    f"outstanding (quota {int(quota)})",
+                    reason="tenant-quota",
+                    queue_depth=self._depth,
+                    limit=int(quota),
+                    retry_after=1.0,
+                )
             self._depth += 1
+            self._tenant_depth[tenant] = held + 1
 
-    def release(self) -> None:
+    def release(self, tenant: str = "default") -> None:
+        tenant = str(tenant)
         with self._lock:
             if self._depth > 0:
                 self._depth -= 1
+            held = self._tenant_depth.get(tenant, 0)
+            if held <= 1:
+                self._tenant_depth.pop(tenant, None)
+            else:
+                self._tenant_depth[tenant] = held - 1
 
     # ------------------------------------------------------------- ladder
 

@@ -5,25 +5,75 @@ names a dataset, never ships one inline, so the expensive part (validating
 the points, fingerprinting them, warming grid / Lemma 5 structures) is
 paid at registration time and amortised over every later request.
 
-Tenancy is cache-level: every tenant gets its *own*
-:class:`~repro.engine.cache.StructureCache`, capped at the registry's
-per-tenant byte quota, and every dataset registered under that tenant
-shares it.  One tenant's eps-sweep therefore cannot evict another
-tenant's warm structures — the noisy-neighbour failure the ROADMAP's
-multi-tenant north star calls out — while datasets *within* a tenant
-still share structures through the fingerprint-keyed cache exactly as
-engines always have.
+Tenancy is cache-level *and* config-level: every tenant gets its *own*
+:class:`~repro.engine.cache.StructureCache`, capped at the tenant's byte
+quota, and a persisted :class:`TenantConfig` carrying its fair-queueing
+weight and admission quotas.  One tenant's eps-sweep therefore cannot
+evict another tenant's warm structures, and one tenant's burst cannot
+monopolise the admission queue (see :mod:`repro.service.queue`).
+
+Durability rides on a pluggable :class:`~repro.service.store.RegistryStore`
+(:class:`~repro.service.store.MemoryStore` by default — the historical
+forget-on-restart behaviour; :class:`~repro.service.store.FileStore` for
+real deployments).  Every mutation is journaled after it commits in
+memory, point payloads are content-addressed ``.npy`` files, and
+:meth:`DatasetRegistry.recover` replays the catalog on construction,
+verifying each payload against its recorded fingerprint before an engine
+is allowed to serve it — a restart either serves the same bytes it
+stored or refuses the dataset, never something in between.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.engine.cache import StructureCache
 from repro.engine.core import ClusteringEngine
-from repro.errors import ParameterError, UnknownDatasetError
+from repro.errors import ParameterError, RegistryStoreError, UnknownDatasetError
+from repro.runtime.checkpoint import fingerprint_points
+from repro.service.store import MemoryStore, RegistryState, RegistryStore
+from repro.utils.log import get_logger
+
+_log = get_logger("service.registry")
+
+
+@dataclass
+class TenantConfig:
+    """Per-tenant scheduling and quota knobs (persisted via the store).
+
+    ``weight`` is the deficit-round-robin share of execution slots (any
+    positive float; 2.0 gets twice the dispatch quantum of 1.0).
+    ``max_queue`` / ``max_inflight`` bound the tenant's waiting and
+    running requests (``None`` = only the service-wide bounds apply);
+    ``quota_mb`` caps the tenant's structure cache.
+    """
+
+    weight: float = 1.0
+    quota_mb: Optional[float] = None
+    max_queue: Optional[int] = None
+    max_inflight: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not float(self.weight) > 0:
+            raise ParameterError(f"tenant weight must be positive; got {self.weight}")
+        if self.quota_mb is not None and not float(self.quota_mb) > 0:
+            raise ParameterError(
+                f"tenant quota_mb must be positive (or None); got {self.quota_mb}"
+            )
+        for name in ("max_queue", "max_inflight"):
+            value = getattr(self, name)
+            if value is not None and int(value) < 1:
+                raise ParameterError(f"tenant {name} must be >= 1; got {value}")
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "weight": self.weight,
+            "quota_mb": self.quota_mb,
+            "max_queue": self.max_queue,
+            "max_inflight": self.max_inflight,
+        }
 
 
 @dataclass
@@ -34,8 +84,12 @@ class DatasetEntry:
     engine: ClusteringEngine
     tenant: str
     source: str  # "array" or the originating file path
+    #: Store reference of the persisted payload ("" for memory stores).
+    payload: str = ""
     #: Number of cluster requests served from this entry (informational).
     requests: int = 0
+    #: eps values whose grids were warm when last journaled (recovery hint).
+    warm_eps: Tuple[float, ...] = ()
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def count_request(self) -> None:
@@ -59,6 +113,18 @@ class DatasetEntry:
             "cache": self.engine.cache.stats(),
         }
 
+    def record(self) -> Dict[str, object]:
+        """The journal/snapshot record that reconstructs this entry."""
+        return {
+            "op": "register",
+            "name": self.name,
+            "tenant": self.tenant,
+            "source": self.source,
+            "fingerprint": self.engine.fingerprint,
+            "payload": self.payload,
+            "warm": list(self.warm_eps),
+        }
+
 
 class DatasetRegistry:
     """Thread-safe name -> :class:`DatasetEntry` map with tenant quotas.
@@ -66,15 +132,25 @@ class DatasetRegistry:
     Parameters
     ----------
     tenant_quota_mb:
-        Byte quota (estimated, in MB) for each tenant's
+        Default byte quota (estimated, in MB) for each tenant's
         :class:`~repro.engine.cache.StructureCache`; ``None`` leaves the
-        caches entry-capped only.
+        caches entry-capped only.  Per-tenant overrides via
+        :meth:`configure_tenant`.
     workers:
         Default ``workers`` argument for every engine the registry builds
         (same semantics as :class:`~repro.engine.ClusteringEngine`).
     max_datasets:
         Hard cap on registered datasets — registration is memory
         commitment, so it is admission-controlled like everything else.
+    store:
+        The :class:`~repro.service.store.RegistryStore` to persist
+        through; defaults to an ephemeral
+        :class:`~repro.service.store.MemoryStore`.  Construction replays
+        the store's catalog (see :meth:`recover`).
+    warm_on_recover:
+        Rebuild the grid structures named by each recovered entry's
+        warm-eps hints, so the first post-restart request hits a warm
+        engine instead of paying the cold build.
     """
 
     def __init__(
@@ -83,6 +159,8 @@ class DatasetRegistry:
         tenant_quota_mb: Optional[float] = None,
         workers=None,
         max_datasets: int = 64,
+        store: Optional[RegistryStore] = None,
+        warm_on_recover: bool = False,
     ) -> None:
         if int(max_datasets) < 1:
             raise ParameterError(f"max_datasets must be >= 1; got {max_datasets}")
@@ -93,20 +171,163 @@ class DatasetRegistry:
         self.tenant_quota_mb = None if tenant_quota_mb is None else float(tenant_quota_mb)
         self.workers = workers
         self.max_datasets = int(max_datasets)
+        self.store = store if store is not None else MemoryStore()
         self._lock = threading.Lock()
         self._entries: Dict[str, DatasetEntry] = {}
         self._tenant_caches: Dict[str, StructureCache] = {}
+        self._tenants: Dict[str, TenantConfig] = {}
+        #: Human-readable account of what recovery repaired or refused.
+        self.recovered: Tuple[str, ...] = ()
+        self.recover(warm=warm_on_recover)
 
-    # ------------------------------------------------------------- mutation
+    # ------------------------------------------------------------- tenancy
 
     def _tenant_cache(self, tenant: str) -> StructureCache:
         """The tenant's quota'd cache (created on first use; caller locks)."""
         cache = self._tenant_caches.get(tenant)
         if cache is None:
+            cfg = self._tenants.get(tenant)
+            quota = cfg.quota_mb if cfg is not None and cfg.quota_mb else None
             cache = self._tenant_caches[tenant] = StructureCache(
-                max_mb=self.tenant_quota_mb
+                max_mb=quota if quota is not None else self.tenant_quota_mb
             )
         return cache
+
+    def tenant_config(self, tenant: str) -> TenantConfig:
+        """The tenant's config (a default-weight one when never configured)."""
+        with self._lock:
+            cfg = self._tenants.get(str(tenant))
+            return cfg if cfg is not None else TenantConfig()
+
+    def tenants(self) -> Dict[str, TenantConfig]:
+        """Snapshot of every explicitly configured tenant."""
+        with self._lock:
+            return dict(self._tenants)
+
+    def configure_tenant(
+        self,
+        tenant: str,
+        *,
+        weight: Optional[float] = None,
+        quota_mb: Optional[float] = None,
+        max_queue: Optional[int] = None,
+        max_inflight: Optional[int] = None,
+    ) -> TenantConfig:
+        """Set (and persist) a tenant's scheduling weight and quotas.
+
+        Only the passed fields change; the rest keep their current
+        values.  A changed ``quota_mb`` re-caps the live structure cache
+        immediately (evicting down if needed).
+        """
+        tenant = str(tenant)
+        with self._lock:
+            current = self._tenants.get(tenant, TenantConfig())
+            cfg = TenantConfig(
+                weight=current.weight if weight is None else float(weight),
+                quota_mb=current.quota_mb if quota_mb is None else float(quota_mb),
+                max_queue=current.max_queue if max_queue is None else int(max_queue),
+                max_inflight=(
+                    current.max_inflight if max_inflight is None else int(max_inflight)
+                ),
+            )
+            self._tenants[tenant] = cfg
+            cache = self._tenant_caches.get(tenant)
+        if cache is not None and quota_mb is not None:
+            cache.set_budget(cfg.quota_mb)
+        self.store.append({"op": "tenant", "tenant": tenant, **cfg.as_dict()})
+        return cfg
+
+    def set_tenant_quota(self, tenant: str, max_mb: Optional[float]) -> None:
+        """Re-cap one tenant's structure cache (evicting down if needed).
+
+        Kept for callers predating :meth:`configure_tenant`; a ``None``
+        quota uncaps the cache without touching the persisted config.
+        """
+        if max_mb is not None:
+            self.configure_tenant(tenant, quota_mb=max_mb)
+            return
+        with self._lock:
+            cache = self._tenant_cache(str(tenant))
+        cache.set_budget(None)
+
+    # ------------------------------------------------------------ recovery
+
+    def recover(self, *, warm: bool = False) -> Tuple[str, ...]:
+        """Replay the store's catalog into live entries (idempotent).
+
+        Every payload is re-fingerprinted before its engine is built; a
+        mismatch (bit rot, a truncated payload from a crash mid-write)
+        quarantines the payload and skips the dataset — the registry
+        never serves bytes it cannot prove are the registered ones.
+        Returns the recovery notes (also kept on :attr:`recovered`).
+        """
+        state = self.store.load()
+        notes = list(state.recovered)
+        for tenant, cfg in state.tenants.items():
+            try:
+                self._tenants[str(tenant)] = TenantConfig(
+                    weight=float(cfg.get("weight", 1.0)),
+                    quota_mb=cfg.get("quota_mb"),
+                    max_queue=cfg.get("max_queue"),
+                    max_inflight=cfg.get("max_inflight"),
+                )
+            except ParameterError as exc:
+                notes.append(f"dropped invalid tenant config for {tenant!r}: {exc}")
+        for name, record in state.datasets.items():
+            if name in self._entries:
+                continue
+            try:
+                entry = self._rebuild_entry(record)
+            except RegistryStoreError as exc:
+                notes.append(f"dropped dataset {name!r}: {exc}")
+                _log.warning("registry: %s", notes[-1])
+                continue
+            with self._lock:
+                self._entries[name] = entry
+            if warm and entry.warm_eps:
+                for eps in entry.warm_eps:
+                    try:
+                        entry.engine.grid(eps)
+                    except Exception as exc:  # pragma: no cover - defensive
+                        notes.append(
+                            f"warm hint eps={eps:g} for {name!r} failed: {exc}"
+                        )
+        self.recovered = tuple(notes)
+        for note in state.recovered:
+            _log.warning("registry: store recovery: %s", note)
+        return self.recovered
+
+    def _rebuild_entry(self, record: Dict[str, object]) -> DatasetEntry:
+        """One recovered entry: load payload, verify fingerprint, warm cache."""
+        name = str(record["name"])
+        tenant = str(record.get("tenant", "default"))
+        ref = str(record.get("payload") or "")
+        if not ref:
+            raise RegistryStoreError(f"record for {name!r} has no payload reference")
+        points = self.store.load_payload(ref)
+        expected = str(record.get("fingerprint") or "")
+        actual = fingerprint_points(points)
+        if expected and actual != expected:
+            quarantine = getattr(self.store, "quarantine_payload", None)
+            if quarantine is not None:
+                quarantine(ref, f"fingerprint mismatch for dataset {name!r}")
+            raise RegistryStoreError(
+                f"payload fingerprint mismatch ({actual[:12]} != {expected[:12]}); "
+                "payload quarantined"
+            )
+        with self._lock:
+            cache = self._tenant_cache(tenant)
+        engine = ClusteringEngine(points, cache=cache, workers=self.workers)
+        return DatasetEntry(
+            name=name,
+            engine=engine,
+            tenant=tenant,
+            source=str(record.get("source", "array")),
+            payload=ref,
+            warm_eps=tuple(float(e) for e in record.get("warm", ())),
+        )
+
+    # ------------------------------------------------------------- mutation
 
     def register(
         self,
@@ -120,11 +341,15 @@ class DatasetRegistry:
         """Register ``points`` (or the file at ``path``) under ``name``.
 
         Exactly one of ``points`` / ``path`` must be given; paths go
-        through the hardened loader of :mod:`repro.data.io` with the given
-        ``on_bad_rows`` policy.  Re-registering a name is idempotent when
-        the data fingerprint matches and a :class:`ParameterError`
-        otherwise — silently swapping a dataset under live traffic would
-        invalidate every coalesced and cached answer in flight.
+        through the hardened loader of :mod:`repro.data.io` (with its
+        content-fingerprint parse cache, so re-registering an unchanged
+        file never re-parses or re-quarantines it) and the parsed array —
+        not the raw file — is what the store persists, so a restart
+        recovers the dataset without touching the original path again.
+        Re-registering a name is idempotent when the data fingerprint
+        matches and a :class:`ParameterError` otherwise — silently
+        swapping a dataset under live traffic would invalidate every
+        coalesced and cached answer in flight.
         """
         name = str(name)
         if not name:
@@ -134,7 +359,7 @@ class DatasetRegistry:
         if path is not None:
             from repro.data.io import load_points
 
-            pts = load_points(str(path), on_bad_rows=on_bad_rows)
+            pts = load_points(str(path), on_bad_rows=on_bad_rows, cache=True)
             source = str(path)
         else:
             pts = points
@@ -161,6 +386,13 @@ class DatasetRegistry:
                     "unregister one first"
                 )
             self._entries[name] = entry
+        # Durability order: payload first (content-addressed, so a crash
+        # leaves at worst an unreferenced file), then the journal record
+        # naming it.  A crash before the append simply forgets the
+        # registration — the caller never got an acknowledgement.
+        entry.payload = self.store.save_payload(engine.fingerprint, engine.points)
+        self.store.append(entry.record())
+        self._maybe_compact()
         return entry.info()
 
     def unregister(self, name: str) -> bool:
@@ -171,13 +403,51 @@ class DatasetRegistry:
         LRU eviction reclaims orphaned structures on its own.
         """
         with self._lock:
-            return self._entries.pop(str(name), None) is not None
+            removed = self._entries.pop(str(name), None) is not None
+        if removed:
+            self.store.append({"op": "unregister", "name": str(name)})
+            self._maybe_compact()
+        return removed
 
-    def set_tenant_quota(self, tenant: str, max_mb: Optional[float]) -> None:
-        """Re-cap one tenant's structure cache (evicting down if needed)."""
+    def note_warm_eps(self, name: str, eps: float) -> None:
+        """Journal a warm-grid hint for ``name`` (first sighting only)."""
         with self._lock:
-            cache = self._tenant_cache(str(tenant))
-        cache.set_budget(max_mb)
+            entry = self._entries.get(str(name))
+            if entry is None:
+                return
+            eps = float(eps)
+            if eps in entry.warm_eps or len(entry.warm_eps) >= 8:
+                return
+            entry.warm_eps = entry.warm_eps + (eps,)
+        self.store.append({"op": "warm", "name": str(name), "eps": eps})
+
+    # ----------------------------------------------------------- snapshots
+
+    def _state_snapshot(self) -> RegistryState:
+        state = RegistryState()
+        with self._lock:
+            for entry in self._entries.values():
+                state.datasets[entry.name] = entry.record()
+            for tenant, cfg in self._tenants.items():
+                state.tenants[tenant] = cfg.as_dict()
+        return state
+
+    def _maybe_compact(self) -> None:
+        should = getattr(self.store, "should_compact", None)
+        if should is not None and should():
+            self.compact()
+
+    def compact(self) -> None:
+        """Force a store snapshot of the live catalog (truncates the journal)."""
+        self.store.compact(self._state_snapshot())
+
+    def close(self) -> None:
+        """Snapshot (when the store persists) and release the store."""
+        try:
+            if self.store.persistent:
+                self.compact()
+        finally:
+            self.store.close()
 
     # -------------------------------------------------------------- lookup
 

@@ -52,7 +52,7 @@ from repro.parallel.supervisor import retry_transient
 from repro.runtime.deadline import Deadline, as_deadline
 from repro.runtime.resilient import TIERS, sampled_dbscan, tier_guarantee
 from repro.service.admission import AdmissionController, AdmissionPolicy, CircuitBreaker
-from repro.service.queue import RequestKey, ServiceStats, SingleFlight
+from repro.service.queue import FairScheduler, RequestKey, ServiceStats, SingleFlight
 from repro.service.registry import DatasetEntry, DatasetRegistry
 from repro.utils.log import get_logger
 
@@ -113,6 +113,7 @@ class ClusteringService:
             thread_name_prefix="repro-service",
         )
         self._gate: Optional[asyncio.Semaphore] = None
+        self._fair: Optional[FairScheduler] = None
         self._shutdown: Optional[asyncio.Event] = None
         self._started = time.monotonic()
 
@@ -123,10 +124,56 @@ class ClusteringService:
             self._gate = asyncio.Semaphore(self.policy.max_concurrency)
         return self._gate
 
+    def _tenant_limits(self, tenant: str):
+        """``(weight, max_queue, max_inflight)`` for the fair scheduler.
+
+        Registry-configured values win; the policy's tenant defaults fill
+        the gaps.  Resolved per enqueue, so a live ``tenant`` op changes
+        the very next dispatch.
+        """
+        cfg = self.registry.tenant_config(tenant)
+        max_queue = cfg.max_queue if cfg.max_queue is not None else self.policy.tenant_max_queue
+        max_inflight = (
+            cfg.max_inflight if cfg.max_inflight is not None
+            else self.policy.tenant_max_inflight
+        )
+        return (cfg.weight, max_queue, max_inflight)
+
+    def scheduler(self) -> FairScheduler:
+        if self._fair is None:
+            self._fair = FairScheduler(
+                self.policy.max_concurrency, config=self._tenant_limits
+            )
+        return self._fair
+
     def shutdown_event(self) -> asyncio.Event:
         if self._shutdown is None:
             self._shutdown = asyncio.Event()
         return self._shutdown
+
+    async def drain(self, timeout: Optional[float] = None) -> Dict[str, object]:
+        """The graceful-restart protocol: stop admitting, finish, flush.
+
+        New requests are refused with ``reason="draining"`` (and an
+        honest ``retry_after`` of the drain budget) from the first line
+        onward; in-flight requests get up to ``timeout`` seconds
+        (``policy.drain_timeout`` by default) to finish; then the
+        registry's journal is compacted and fsynced so a restart replays
+        a clean snapshot.  Returns a summary for the log / response.
+        """
+        budget = float(self.policy.drain_timeout if timeout is None else timeout)
+        self.admission.start_draining()
+        t0 = time.monotonic()
+        while self.admission.depth > 0 and time.monotonic() - t0 < budget:
+            await asyncio.sleep(0.05)
+        abandoned = self.admission.depth
+        self.registry.close()  # compacts + closes a persistent store
+        self.shutdown_event().set()
+        return {
+            "drained": abandoned == 0,
+            "abandoned": abandoned,
+            "elapsed": time.monotonic() - t0,
+        }
 
     def close(self) -> None:
         """Release the executor threads (idempotent)."""
@@ -154,7 +201,10 @@ class ClusteringService:
             "queue_depth": self.admission.depth,
             "queue_limit": self.policy.max_queue,
             "in_flight": self.flights.in_flight(),
+            "draining": self.admission.draining,
             "breakers": self.breaker.snapshot(),
+            "tenants": self._fair.snapshot() if self._fair is not None else {},
+            "datasets": len(self.registry),
             **self.stats.as_dict(),
         }
 
@@ -172,8 +222,17 @@ class ClusteringService:
         shm=None,
         time_budget: Optional[float] = None,
         tier: Optional[str] = None,
+        tenant: Optional[str] = None,
+        priority: int = 0,
     ) -> Dict[str, object]:
         """Serve one clustering request through the full front-end.
+
+        ``tenant`` defaults to the dataset's owning tenant — a request
+        carrying its own tenant label is billed (queued, weighted,
+        quota-checked) against that label instead.  ``priority`` orders a
+        tenant's own queue (higher first; earliest deadline breaks ties);
+        it never lets one tenant outrank another — that is what weights
+        are for.
 
         Returns the response dict: the serialized clustering under
         ``"clustering"`` plus ``tier`` / ``reason`` / ``coalesced`` /
@@ -182,6 +241,7 @@ class ClusteringService:
         catch them directly.
         """
         entry = self.registry.get(dataset)
+        tenant = str(tenant) if tenant is not None else entry.tenant
         try:
             probe = self.breaker.check(entry.name)
         except DatasetQuarantinedError:
@@ -199,8 +259,9 @@ class ClusteringService:
                 else self.policy.default_time_budget
             )
             deadline = as_deadline(budget)
+            tenant_quota = self._tenant_limits(tenant)[1]
             try:
-                self.admission.admit(deadline)
+                self.admission.admit(deadline, tenant=tenant, tenant_quota=tenant_quota)
             except ServiceOverloadError:
                 self.stats.rejected += 1
                 raise
@@ -219,7 +280,8 @@ class ClusteringService:
                     return await self._await_flight(flight, deadline)
                 try:
                     response = await self._lead(
-                        entry, key, requested, deadline, workers, shm
+                        entry, key, requested, deadline, workers, shm,
+                        tenant=tenant, priority=priority,
                     )
                 except BaseException as exc:
                     self.flights.resolve_error(key, exc)
@@ -228,13 +290,14 @@ class ClusteringService:
                 return response
             except ServiceOverloadError:
                 # Every post-admission overload is a deadline expiry
-                # (queued for a slot, or waiting coalesced): the request
-                # was accepted, so count it apart from admission sheds —
-                # accepted and rejected stay a partition.
+                # (queued for a slot, or waiting coalesced) or a
+                # scheduler-level shed: the request was accepted, so count
+                # it apart from admission sheds — accepted and rejected
+                # stay a partition.
                 self.stats.expired += 1
                 raise
             finally:
-                self.admission.release()
+                self.admission.release(tenant)
         finally:
             # If this request held the half-open probe slot, guarantee it
             # resolves: a no-op when record_success/record_failure already
@@ -281,9 +344,24 @@ class ClusteringService:
         deadline: Optional[Deadline],
         workers=None,
         shm=None,
+        *,
+        tenant: str = "default",
+        priority: int = 0,
     ) -> Dict[str, object]:
-        """Run the single computation every coalesced waiter shares."""
-        loop = asyncio.get_running_loop()
+        """Run the single computation every coalesced waiter shares.
+
+        The execution slot comes from the :class:`FairScheduler` when the
+        policy says ``fair`` (the default) — deficit round robin across
+        tenants, priority-then-earliest-deadline within one — or from the
+        plain FIFO semaphore otherwise (the benchmark baseline and a
+        paranoia escape hatch).
+        """
+        if self.policy.fair:
+            await self.scheduler().acquire(tenant, deadline, priority)
+            try:
+                return await self._run_slot(entry, key, requested, deadline, workers, shm)
+            finally:
+                self.scheduler().release(tenant)
         async with self._gate_sem():
             # The deadline kept running while the request queued for an
             # execution slot (tightest-deadline semantics: admission-time
@@ -295,81 +373,97 @@ class ClusteringService:
                     queue_depth=self.admission.depth,
                     limit=self.policy.max_queue,
                 )
-            tier, reason = self.admission.choose_tier(requested)
-            job = {
-                "eps": key.eps,
-                "min_pts": key.min_pts,
-                "rho": key.rho,
-                "algorithm": key.algorithm,
-                # The original object, not the key's hash-safe repr — a
-                # ParallelConfig must reach the engine intact.
-                "workers": workers,
-                "shm": shm,
-                "tier": tier,
-                "deadline": deadline,
-            }
-            retry_log: List[Dict[str, object]] = []
+            return await self._run_slot(entry, key, requested, deadline, workers, shm)
 
-            def attempt() -> object:
-                return self._execute(entry, job)
+    async def _run_slot(
+        self,
+        entry: DatasetEntry,
+        key: RequestKey,
+        requested: str,
+        deadline: Optional[Deadline],
+        workers=None,
+        shm=None,
+    ) -> Dict[str, object]:
+        """The slot-holding half of :meth:`_lead`: tier choice + execution."""
+        loop = asyncio.get_running_loop()
+        tier, reason = self.admission.choose_tier(requested)
+        job = {
+            "eps": key.eps,
+            "min_pts": key.min_pts,
+            "rho": key.rho,
+            "algorithm": key.algorithm,
+            # The original object, not the key's hash-safe repr — a
+            # ParallelConfig must reach the engine intact.
+            "workers": workers,
+            "shm": shm,
+            "tier": tier,
+            "deadline": deadline,
+        }
+        retry_log: List[Dict[str, object]] = []
 
-            def call() -> object:
-                return retry_transient(
-                    attempt,
-                    attempts=self.policy.retry_attempts,
-                    deadline=deadline,
-                    on_retry=lambda n, exc: retry_log.append(
-                        {"attempt": n, "error": type(exc).__name__, "detail": str(exc)}
-                    ),
-                )
+        def attempt() -> object:
+            return self._execute(entry, job)
 
-            t0 = time.monotonic()
-            try:
-                result = await loop.run_in_executor(self._executor, call)
-            except (TimeoutExceeded, MemoryBudgetExceeded, ParameterError,
-                    DataError, ServiceError):
-                # Budget verdicts and caller mistakes: the infrastructure
-                # is healthy, so the breaker stays closed.
-                self.stats.failed += 1
-                self.stats.retries += len(retry_log)
-                raise
-            except Exception as exc:
-                self.stats.failed += 1
-                self.stats.retries += len(retry_log)
-                failures = self.breaker.record_failure(entry.name)
-                if failures >= self.policy.breaker_threshold:
-                    _log.warning(
-                        "service: circuit breaker OPEN for dataset %r after %d "
-                        "consecutive failure(s): %s: %s",
-                        entry.name, failures, type(exc).__name__, exc,
-                    )
-                raise
-            self.breaker.record_success(entry.name)
-            entry.count_request()
-            self.stats.executed += 1
+        def call() -> object:
+            return retry_transient(
+                attempt,
+                attempts=self.policy.retry_attempts,
+                deadline=deadline,
+                on_retry=lambda n, exc: retry_log.append(
+                    {"attempt": n, "error": type(exc).__name__, "detail": str(exc)}
+                ),
+            )
+
+        t0 = time.monotonic()
+        try:
+            result = await loop.run_in_executor(self._executor, call)
+        except (TimeoutExceeded, MemoryBudgetExceeded, ParameterError,
+                DataError, ServiceError):
+            # Budget verdicts and caller mistakes: the infrastructure
+            # is healthy, so the breaker stays closed.
+            self.stats.failed += 1
             self.stats.retries += len(retry_log)
-            self.stats.count_tier(tier)
-            if tier != requested:
-                self.stats.degraded += 1
+            raise
+        except Exception as exc:
+            self.stats.failed += 1
+            self.stats.retries += len(retry_log)
+            failures = self.breaker.record_failure(entry.name)
+            if failures >= self.policy.breaker_threshold:
                 _log.warning(
-                    "service: request for %r degraded %s -> %s (%s)",
-                    entry.name, requested, tier, reason,
+                    "service: circuit breaker OPEN for dataset %r after %d "
+                    "consecutive failure(s): %s: %s",
+                    entry.name, failures, type(exc).__name__, exc,
                 )
-            result.meta["service"] = {
-                "tier": tier,
-                "reason": reason,
-                "requested": requested,
-                "guarantee": tier_guarantee(tier),
-                "retries": retry_log,
-            }
-            return {
-                "dataset": entry.name,
-                "tier": tier,
-                "reason": reason,
-                "coalesced": False,
-                "elapsed": time.monotonic() - t0,
-                "clustering": to_dict(result),
-            }
+            raise
+        self.breaker.record_success(entry.name)
+        entry.count_request()
+        # Journal the eps as a warm hint: a restart with --warm-on-recover
+        # rebuilds this grid before the first request arrives.
+        self.registry.note_warm_eps(entry.name, key.eps)
+        self.stats.executed += 1
+        self.stats.retries += len(retry_log)
+        self.stats.count_tier(tier)
+        if tier != requested:
+            self.stats.degraded += 1
+            _log.warning(
+                "service: request for %r degraded %s -> %s (%s)",
+                entry.name, requested, tier, reason,
+            )
+        result.meta["service"] = {
+            "tier": tier,
+            "reason": reason,
+            "requested": requested,
+            "guarantee": tier_guarantee(tier),
+            "retries": retry_log,
+        }
+        return {
+            "dataset": entry.name,
+            "tier": tier,
+            "reason": reason,
+            "coalesced": False,
+            "elapsed": time.monotonic() - t0,
+            "clustering": to_dict(result),
+        }
 
     def _execute(self, entry: DatasetEntry, job: Dict[str, object]):
         """One engine execution (runs on an executor thread).
@@ -450,6 +544,8 @@ class ClusteringService:
                     shm=request.get("shm"),
                     time_budget=request.get("time_budget"),
                     tier=request.get("tier"),
+                    tenant=request.get("tenant"),
+                    priority=int(request.get("priority", 0)),
                 )
             elif op == "register":
                 self._require(request, "name")
@@ -469,6 +565,18 @@ class ClusteringService:
                 payload = self.service_stats()
             elif op == "ping":
                 payload = {"pong": True}
+            elif op == "tenant":
+                self._require(request, "name")
+                cfg = self.registry.configure_tenant(
+                    request["name"],
+                    weight=request.get("weight"),
+                    quota_mb=request.get("quota_mb"),
+                    max_queue=request.get("max_queue"),
+                    max_inflight=request.get("max_inflight"),
+                )
+                payload = {"tenant": str(request["name"]), **cfg.as_dict()}
+            elif op == "drain":
+                payload = await self.drain(request.get("timeout"))
             elif op == "shutdown":
                 self.shutdown_event().set()
                 return None

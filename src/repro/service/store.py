@@ -1,0 +1,490 @@
+"""Pluggable persistence for the service's dataset registry.
+
+The registry survives restarts through a :class:`RegistryStore`: an
+append-only **journal** of mutations layered over an atomic **snapshot**
+of the full catalog, plus content-addressed ``.npy`` payload files for
+the point arrays themselves.  The design mirrors the checkpointing rules
+of :mod:`repro.runtime.checkpoint` — never trust a file you did not
+finish writing, and bind every payload to a content fingerprint so a
+reload can *prove* it is serving the same bytes it stored.
+
+Two implementations:
+
+* :class:`MemoryStore` — keeps records in a list and payloads in a dict;
+  the default, for tests and ephemeral services.  ``load()`` after a
+  process restart returns nothing, exactly like the pre-persistence
+  registry behaved.
+* :class:`FileStore` — a directory with::
+
+      registry.json           atomic snapshot (tmp + fsync + os.replace)
+      journal.jsonl           CRC-framed mutations since the snapshot
+      payloads/<fp>.npy       one payload per dataset fingerprint
+      quarantine/             corrupt journal tails, bad payloads
+
+  Every journal line is ``crc32(body) + " " + body`` where body is one
+  JSON object; :meth:`FileStore.load` replays the snapshot then the
+  journal, **truncating at the first torn or corrupt record** and moving
+  the unreadable tail into ``quarantine/`` — a crash mid-append loses at
+  most the mutation being written, never the catalog.  Payloads are
+  verified against their recorded fingerprint on reload; a mismatch
+  quarantines the payload and drops the dataset instead of serving wrong
+  data.
+
+Crash-consistency rules (in order, per mutation):
+
+1. payload file is written *and fsynced* first (content-addressed, so a
+   half-written payload from a crash is simply overwritten next time);
+2. the journal record referencing it is appended and fsynced;
+3. compaction writes the whole catalog to ``registry.json.tmp``, fsyncs,
+   ``os.replace``-s it over ``registry.json``, and only then truncates
+   the journal.
+
+A ``kill -9`` between any two steps leaves the store loadable: step 1
+alone leaves an unreferenced payload (garbage, harmless), step 2 alone
+is the normal journaled state, and a crash inside step 3 leaves either
+the old snapshot + full journal or the new snapshot + stale journal —
+replaying a journal record that is already in the snapshot is idempotent
+by construction (records carry the full entry, not a delta).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import tempfile
+import threading
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import RegistryStoreError
+from repro.runtime import faultinject
+from repro.utils.log import get_logger
+
+_log = get_logger("service.store")
+
+#: Snapshot schema version; bump on incompatible layout changes.
+SNAPSHOT_FORMAT = "repro.registry/v1"
+
+#: Journal record operations understood by :meth:`RegistryStore.load`.
+JOURNAL_OPS = ("register", "unregister", "tenant", "warm")
+
+#: Warm-eps hints retained per dataset (journaled by the service so a
+#: restart can rebuild the grids traffic was actually using).
+MAX_WARM_HINTS = 8
+
+
+def _fsync_file(fh) -> None:
+    fh.flush()
+    os.fsync(fh.fileno())
+
+
+def _fsync_dir(path: str) -> None:
+    """Force the directory entry itself to disk (rename durability)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(fd)
+
+
+def frame_record(record: Dict[str, object]) -> str:
+    """One journal line: ``crc32 <json>`` (newline added by the writer)."""
+    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+    return f"{crc:08x} {body}"
+
+
+def parse_record(line: str) -> Optional[Dict[str, object]]:
+    """Decode one framed journal line; None when torn or corrupt."""
+    if " " not in line:
+        return None
+    crc_text, _, body = line.partition(" ")
+    try:
+        crc = int(crc_text, 16)
+    except ValueError:
+        return None
+    if zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        record = json.loads(body)
+    except ValueError:  # pragma: no cover - crc already guards this
+        return None
+    return record if isinstance(record, dict) else None
+
+
+class RegistryState:
+    """The replayed catalog a store hands the registry at startup.
+
+    ``datasets`` maps name -> the record of its last ``register`` (with
+    ``name``, ``tenant``, ``source``, ``fingerprint`` and the store's
+    payload reference); ``tenants`` maps tenant -> its persisted config
+    (``weight``, ``quota_mb``).  ``recovered`` notes what the load had to
+    repair (truncated journal records, quarantined payloads) so the
+    registry can log an honest account of the recovery.
+    """
+
+    def __init__(self) -> None:
+        self.datasets: Dict[str, Dict[str, object]] = {}
+        self.tenants: Dict[str, Dict[str, object]] = {}
+        self.recovered: List[str] = []
+
+    def apply(self, record: Dict[str, object]) -> None:
+        """Replay one journal record (idempotent: records are absolute)."""
+        op = record.get("op")
+        if op == "register":
+            self.datasets[str(record["name"])] = dict(record)
+        elif op == "unregister":
+            self.datasets.pop(str(record.get("name")), None)
+        elif op == "tenant":
+            tenant = str(record.get("tenant"))
+            cfg = self.tenants.setdefault(tenant, {})
+            for key in ("weight", "quota_mb", "max_queue", "max_inflight"):
+                if key in record:
+                    cfg[key] = record[key]
+        elif op == "warm":
+            entry = self.datasets.get(str(record.get("name")))
+            if entry is not None:
+                warm = list(entry.get("warm", ()))
+                eps = record.get("eps")
+                if eps is not None and eps not in warm:
+                    warm.append(eps)
+                    entry["warm"] = warm[-MAX_WARM_HINTS:]
+        else:
+            self.recovered.append(f"skipped unknown journal op {op!r}")
+
+
+class RegistryStore:
+    """Interface the registry persists through (default: no-op memory)."""
+
+    def load(self) -> RegistryState:
+        """Replay snapshot + journal into a :class:`RegistryState`."""
+        raise NotImplementedError
+
+    def append(self, record: Dict[str, object]) -> None:
+        """Durably journal one mutation (fsynced before returning)."""
+        raise NotImplementedError
+
+    def save_payload(self, fingerprint: str, points: np.ndarray) -> str:
+        """Persist a point array; returns the payload reference."""
+        raise NotImplementedError
+
+    def load_payload(self, ref: str) -> np.ndarray:
+        """Load a payload saved by :meth:`save_payload` (memmapped)."""
+        raise NotImplementedError
+
+    def compact(self, state: RegistryState) -> None:
+        """Atomically snapshot ``state`` and truncate the journal."""
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    @property
+    def persistent(self) -> bool:
+        """True when records survive process restarts."""
+        return False
+
+
+class MemoryStore(RegistryStore):
+    """In-process store: real journaling semantics, no disk, no survival."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: List[Dict[str, object]] = []
+        self._payloads: Dict[str, np.ndarray] = {}
+
+    def load(self) -> RegistryState:
+        state = RegistryState()
+        with self._lock:
+            for record in self._records:
+                state.apply(record)
+        return state
+
+    def append(self, record: Dict[str, object]) -> None:
+        # Round-trip through the frame so Memory and File stores accept
+        # exactly the same record shapes (catches unserialisable fields).
+        parsed = parse_record(frame_record(record))
+        if parsed is None:  # pragma: no cover - frame_record always parses
+            raise RegistryStoreError("journal record did not round-trip")
+        with self._lock:
+            self._records.append(parsed)
+
+    def save_payload(self, fingerprint: str, points: np.ndarray) -> str:
+        # A reference, not a copy: the memory store offers no durability,
+        # so duplicating every registered array would be pure waste (the
+        # engine's frozen-points contract keeps the bytes stable).
+        ref = f"mem:{fingerprint}"
+        with self._lock:
+            self._payloads[ref] = np.asarray(points, dtype=np.float64)
+        return ref
+
+    def load_payload(self, ref: str) -> np.ndarray:
+        with self._lock:
+            try:
+                return self._payloads[ref]
+            except KeyError:
+                raise RegistryStoreError(f"unknown payload reference {ref!r}") from None
+
+    def compact(self, state: RegistryState) -> None:
+        with self._lock:
+            self._records = [dict(rec) for rec in state.datasets.values()]
+            for tenant, cfg in state.tenants.items():
+                self._records.append({"op": "tenant", "tenant": tenant, **cfg})
+
+
+class FileStore(RegistryStore):
+    """Durable directory-backed store (see the module docstring layout).
+
+    Parameters
+    ----------
+    root:
+        The store directory; created (with ``payloads/`` and
+        ``quarantine/``) when missing.
+    compact_every:
+        Journal records between automatic compactions; compaction also
+        runs on :meth:`close` and can be forced via :meth:`compact`.
+    """
+
+    SNAPSHOT = "registry.json"
+    JOURNAL = "journal.jsonl"
+
+    def __init__(self, root: str, *, compact_every: int = 256) -> None:
+        if int(compact_every) < 1:
+            raise RegistryStoreError(
+                f"compact_every must be >= 1; got {compact_every}"
+            )
+        self.root = str(root)
+        self.compact_every = int(compact_every)
+        self._lock = threading.Lock()
+        self._appends_since_compact = 0
+        os.makedirs(self.root, exist_ok=True)
+        os.makedirs(self.payload_dir, exist_ok=True)
+        os.makedirs(self.quarantine_dir, exist_ok=True)
+        # One long-lived append handle: opening per record would pay a
+        # path lookup per mutation and still need the fsync.
+        self._journal_fh = open(
+            self.journal_path, "a", encoding="utf-8", buffering=1
+        )
+
+    # ------------------------------------------------------------- layout
+
+    @property
+    def snapshot_path(self) -> str:
+        return os.path.join(self.root, self.SNAPSHOT)
+
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.root, self.JOURNAL)
+
+    @property
+    def payload_dir(self) -> str:
+        return os.path.join(self.root, "payloads")
+
+    @property
+    def quarantine_dir(self) -> str:
+        return os.path.join(self.root, "quarantine")
+
+    @property
+    def persistent(self) -> bool:
+        return True
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._journal_fh.closed:
+                self._journal_fh.close()
+
+    # ------------------------------------------------------------ loading
+
+    def _quarantine_bytes(self, label: str, payload: bytes) -> str:
+        """Preserve unreadable bytes under ``quarantine/`` (never destroy)."""
+        fd, path = tempfile.mkstemp(
+            prefix=f"{label}.", suffix=".corrupt", dir=self.quarantine_dir
+        )
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(payload)
+        return path
+
+    def _load_snapshot(self, state: RegistryState) -> None:
+        if not os.path.exists(self.snapshot_path):
+            return
+        try:
+            with open(self.snapshot_path, "r", encoding="utf-8") as fh:
+                snap = json.load(fh)
+            if snap.get("format") != SNAPSHOT_FORMAT:
+                raise ValueError(f"unknown snapshot format {snap.get('format')!r}")
+            records = snap["datasets"]
+            tenants = snap.get("tenants", {})
+        except (ValueError, KeyError, OSError) as exc:
+            with open(self.snapshot_path, "rb") as fh:
+                side = self._quarantine_bytes("registry.json", fh.read())
+            # Remove the unreadable original (its bytes are preserved in
+            # quarantine) so the next compaction starts clean and the
+            # next reload doesn't quarantine a second copy.
+            os.remove(self.snapshot_path)
+            state.recovered.append(
+                f"snapshot unreadable ({exc}); quarantined to {side}"
+            )
+            _log.warning("store: %s", state.recovered[-1])
+            return
+        for record in records:
+            state.apply(dict(record, op="register"))
+        for tenant, cfg in tenants.items():
+            state.apply({"op": "tenant", "tenant": tenant, **cfg})
+
+    def _load_journal(self, state: RegistryState) -> None:
+        if not os.path.exists(self.journal_path):
+            return
+        valid_bytes = 0
+        torn: Optional[bytes] = None
+        with open(self.journal_path, "rb") as fh:
+            for raw in fh:
+                text = raw.decode("utf-8", errors="replace")
+                record = (
+                    parse_record(text.rstrip("\n"))
+                    if text.endswith("\n")
+                    else None  # no newline: the append was cut mid-write
+                )
+                if record is None:
+                    torn = raw + fh.read()
+                    break
+                state.apply(record)
+                valid_bytes += len(raw)
+        if torn is None:
+            return
+        side = self._quarantine_bytes(self.JOURNAL, torn)
+        state.recovered.append(
+            f"journal torn/corrupt after {valid_bytes} byte(s); truncated and "
+            f"quarantined {len(torn)} trailing byte(s) to {side}"
+        )
+        _log.warning("store: %s", state.recovered[-1])
+        with self._lock:
+            self._journal_fh.close()
+            with open(self.journal_path, "r+b") as fh:
+                fh.truncate(valid_bytes)
+                _fsync_file(fh)
+            self._journal_fh = open(
+                self.journal_path, "a", encoding="utf-8", buffering=1
+            )
+
+    def load(self) -> RegistryState:
+        state = RegistryState()
+        self._load_snapshot(state)
+        self._load_journal(state)
+        return state
+
+    # ------------------------------------------------------------ writing
+
+    def append(self, record: Dict[str, object]) -> None:
+        line = frame_record(record)
+        with self._lock:
+            if self._journal_fh.closed:
+                raise RegistryStoreError("store is closed")
+            self._journal_fh.write(line + "\n")
+            _fsync_file(self._journal_fh)
+            self._appends_since_compact += 1
+            faultinject.maybe_crash_after_journal_write(self._journal_fh)
+
+    def save_payload(self, fingerprint: str, points: np.ndarray) -> str:
+        ref = f"{fingerprint}.npy"
+        final = os.path.join(self.payload_dir, ref)
+        if os.path.exists(final):
+            return ref  # content-addressed: same fingerprint, same bytes
+        arr = np.ascontiguousarray(points, dtype=np.float64)
+        buf = io.BytesIO()
+        np.save(buf, arr)
+        fd, tmp = tempfile.mkstemp(prefix=ref + ".", dir=self.payload_dir)
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(buf.getvalue())
+                _fsync_file(fh)
+            os.replace(tmp, final)
+        except BaseException:
+            if os.path.exists(tmp):  # pragma: no cover - cleanup on failure
+                os.unlink(tmp)
+            raise
+        _fsync_dir(self.payload_dir)
+        return ref
+
+    def load_payload(self, ref: str) -> np.ndarray:
+        path = os.path.join(self.payload_dir, os.path.basename(str(ref)))
+        if not os.path.exists(path):
+            raise RegistryStoreError(f"missing payload file {ref!r}")
+        try:
+            # Memmapped: reloading a catalog of N datasets must not
+            # materialise every array before the first request needs it.
+            return np.load(path, mmap_mode="r")
+        except ValueError as exc:
+            raise RegistryStoreError(f"payload {ref!r} is unreadable: {exc}") from exc
+
+    def quarantine_payload(self, ref: str, reason: str) -> Optional[str]:
+        """Move a bad payload into ``quarantine/``; returns the new path."""
+        path = os.path.join(self.payload_dir, os.path.basename(str(ref)))
+        if not os.path.exists(path):
+            return None
+        dest = os.path.join(
+            self.quarantine_dir, os.path.basename(path) + ".corrupt"
+        )
+        os.replace(path, dest)
+        _log.warning("store: quarantined payload %s (%s)", path, reason)
+        return dest
+
+    # --------------------------------------------------------- compaction
+
+    def should_compact(self) -> bool:
+        with self._lock:
+            return self._appends_since_compact >= self.compact_every
+
+    def compact(self, state: RegistryState) -> None:
+        """Write the catalog snapshot atomically, then reset the journal."""
+        snap = {
+            "format": SNAPSHOT_FORMAT,
+            "datasets": [
+                {k: v for k, v in rec.items() if k != "op"}
+                for _, rec in sorted(state.datasets.items())
+            ],
+            "tenants": {t: dict(cfg) for t, cfg in sorted(state.tenants.items())},
+        }
+        payload = json.dumps(snap, sort_keys=True, indent=1)
+        fd, tmp = tempfile.mkstemp(prefix=self.SNAPSHOT + ".", dir=self.root)
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+            _fsync_file(fh)
+        os.replace(tmp, self.snapshot_path)
+        _fsync_dir(self.root)
+        with self._lock:
+            self._journal_fh.close()
+            with open(self.journal_path, "w", encoding="utf-8") as fh:
+                _fsync_file(fh)
+            self._journal_fh = open(
+                self.journal_path, "a", encoding="utf-8", buffering=1
+            )
+            self._appends_since_compact = 0
+
+    def gc_payloads(self, state: RegistryState) -> Tuple[str, ...]:
+        """Unlink payload files no catalog entry references (post-compact)."""
+        live = {
+            os.path.basename(str(rec.get("payload")))
+            for rec in state.datasets.values()
+            if rec.get("payload")
+        }
+        removed = []
+        for name in os.listdir(self.payload_dir):
+            if name not in live and name.endswith(".npy"):
+                os.unlink(os.path.join(self.payload_dir, name))
+                removed.append(name)
+        return tuple(removed)
+
+
+def open_store(spec: Optional[str]) -> RegistryStore:
+    """Build a store from a CLI/config spec: None -> memory, path -> file."""
+    if spec is None or spec == "" or spec == "memory":
+        return MemoryStore()
+    return FileStore(spec)

@@ -1,0 +1,336 @@
+"""Tests for the registry persistence layer (``repro.service.store``).
+
+The contract under test is the crash-consistency story:
+
+* the journal is append-only, CRC-framed, and replayable — a reload of
+  the same directory reconstructs the identical catalog state;
+* a torn tail (the crash hit mid-``write``) truncates to the last valid
+  record and quarantines the partial bytes — it never poisons recovery
+  and never silently destroys evidence;
+* the snapshot is written atomically (tmp + fsync + ``os.replace``), so
+  a crash mid-compaction leaves either the old snapshot or the new one,
+  never a half-written file;
+* payloads are content-addressed and re-fingerprinted on reload — bit
+  rot is detected, quarantined, and reported, not served.
+"""
+
+import json
+import os
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.errors import RegistryStoreError
+from repro.runtime.checkpoint import fingerprint_points
+from repro.service import DatasetRegistry, FileStore, MemoryStore, open_store
+from repro.service.store import RegistryState, frame_record, parse_record
+
+
+def rec(name, **extra):
+    return {"op": "register", "name": name, "tenant": "default",
+            "source": "array", "fingerprint": "f" * 8, "payload": "",
+            "warm": [], **extra}
+
+
+# ------------------------------------------------------------- record frame
+
+
+class TestRecordFraming:
+    def test_roundtrip(self):
+        record = rec("a", warm=[1.5, 2.0])
+        assert parse_record(frame_record(record)) == record
+
+    def test_bad_crc_rejected(self):
+        line = frame_record(rec("a"))
+        tampered = ("0" * 8) + line[8:]
+        if tampered == line:  # pragma: no cover - astronomically unlikely
+            tampered = ("1" * 8) + line[8:]
+        assert parse_record(tampered) is None
+
+    def test_garbage_rejected(self):
+        assert parse_record("not a record") is None
+        assert parse_record("") is None
+        assert parse_record("00bad-hex {}") is None
+
+    def test_unknown_op_skipped_with_note(self):
+        # Forward compatibility: a journal written by a newer version
+        # replays what this version understands and notes the rest.
+        state = RegistryState()
+        state.apply({"op": "explode"})
+        assert state.datasets == {}
+        assert any("unknown journal op" in note for note in state.recovered)
+
+
+# ------------------------------------------------------------- memory store
+
+
+class TestMemoryStore:
+    def test_roundtrip(self):
+        store = MemoryStore()
+        store.append(rec("a"))
+        store.append({"op": "tenant", "tenant": "t1", "weight": 2.0,
+                      "quota_mb": None, "max_queue": 4, "max_inflight": None})
+        state = store.load()
+        assert set(state.datasets) == {"a"}
+        assert state.tenants["t1"]["weight"] == 2.0
+        assert store.persistent is False
+
+    def test_payload_roundtrip(self):
+        store = MemoryStore()
+        pts = np.arange(10.0).reshape(5, 2)
+        ref = store.save_payload("fp", pts)
+        np.testing.assert_array_equal(store.load_payload(ref), pts)
+
+    def test_unregister_removes(self):
+        store = MemoryStore()
+        store.append(rec("a"))
+        store.append({"op": "unregister", "name": "a"})
+        assert store.load().datasets == {}
+
+
+# --------------------------------------------------------------- file store
+
+
+class TestFileStore:
+    def test_reload_reconstructs_state(self, tmp_path):
+        store = FileStore(str(tmp_path))
+        store.append(rec("a"))
+        store.append(rec("b", tenant="t2"))
+        store.append({"op": "tenant", "tenant": "t2", "weight": 4.0,
+                      "quota_mb": 1.0, "max_queue": None, "max_inflight": 2})
+        store.close()
+
+        again = FileStore(str(tmp_path))
+        state = again.load()
+        assert set(state.datasets) == {"a", "b"}
+        assert state.datasets["b"]["tenant"] == "t2"
+        assert state.tenants["t2"]["max_inflight"] == 2
+        assert not state.recovered
+        again.close()
+
+    def test_torn_tail_truncated_and_quarantined(self, tmp_path):
+        store = FileStore(str(tmp_path))
+        store.append(rec("a"))
+        store.append(rec("b"))
+        store.close()
+        journal = tmp_path / "journal.jsonl"
+        good = journal.read_bytes()
+        # A crash mid-write: half a record, no trailing newline.
+        journal.write_bytes(good + b'00000000 {"op":"register","na')
+
+        again = FileStore(str(tmp_path))
+        state = again.load()
+        assert set(state.datasets) == {"a", "b"}
+        assert any("torn" in note or "quarantined" in note
+                   for note in state.recovered)
+        # The journal was truncated back to the last valid byte...
+        assert journal.read_bytes() == good
+        # ...and the torn bytes were preserved, not destroyed.
+        quarantined = list((tmp_path / "quarantine").iterdir())
+        assert len(quarantined) == 1
+        # The store stays writable after recovery.
+        again.append(rec("c"))
+        assert set(again.load().datasets) == {"a", "b", "c"}
+        again.close()
+
+    def test_corrupt_mid_journal_truncates_from_there(self, tmp_path):
+        store = FileStore(str(tmp_path))
+        store.append(rec("a"))
+        store.close()
+        journal = tmp_path / "journal.jsonl"
+        good = journal.read_bytes()
+        bad_line = frame_record(rec("evil"))
+        bad_line = ("f" * 8) + bad_line[8:]  # wrong CRC
+        after = frame_record(rec("late"))
+        journal.write_bytes(good + (bad_line + "\n" + after + "\n").encode())
+
+        state = FileStore(str(tmp_path)).load()
+        # Everything from the first bad record on is suspect: 'late' is
+        # sacrificed (quarantined, not lost) to keep replay sound.
+        assert set(state.datasets) == {"a"}
+        assert journal.read_bytes() == good
+        assert len(list((tmp_path / "quarantine").iterdir())) == 1
+
+    def test_compaction_snapshot_plus_empty_journal(self, tmp_path):
+        store = FileStore(str(tmp_path))
+        store.append(rec("a"))
+        store.append(rec("b"))
+        store.append({"op": "unregister", "name": "a"})
+        store.compact(store.load())
+        assert (tmp_path / "registry.json").exists()
+        assert (tmp_path / "journal.jsonl").read_bytes() == b""
+        store.append(rec("c"))
+        store.close()
+
+        state = FileStore(str(tmp_path)).load()
+        assert set(state.datasets) == {"b", "c"}
+
+    def test_corrupt_snapshot_quarantined_journal_still_replays(self, tmp_path):
+        store = FileStore(str(tmp_path))
+        store.append(rec("a"))
+        store.compact(store.load())
+        store.append(rec("b"))
+        store.close()
+        (tmp_path / "registry.json").write_text("{ half a json", encoding="utf-8")
+
+        state = FileStore(str(tmp_path)).load()
+        # The snapshot is gone (quarantined) but the journal records
+        # written after it still replay.
+        assert set(state.datasets) == {"b"}
+        assert any("snapshot" in note for note in state.recovered)
+        assert not (tmp_path / "registry.json").exists()
+        assert len(list((tmp_path / "quarantine").iterdir())) == 1
+
+    def test_payload_roundtrip_and_content_addressing(self, tmp_path):
+        store = FileStore(str(tmp_path))
+        pts = np.random.default_rng(0).normal(size=(20, 3))
+        fp = fingerprint_points(pts)
+        ref = store.save_payload(fp, pts)
+        # Idempotent: saving the same fingerprint again reuses the file.
+        assert store.save_payload(fp, pts) == ref
+        loaded = store.load_payload(ref)
+        np.testing.assert_array_equal(loaded, pts)
+        assert fingerprint_points(np.asarray(loaded)) == fp
+        store.close()
+
+    def test_missing_payload_raises(self, tmp_path):
+        store = FileStore(str(tmp_path))
+        with pytest.raises(RegistryStoreError):
+            store.load_payload("nope.npy")
+
+    def test_gc_removes_orphans_only(self, tmp_path):
+        store = FileStore(str(tmp_path))
+        pts = np.ones((4, 2))
+        live_ref = store.save_payload("live", pts)
+        store.save_payload("orphan", pts * 2)
+        state = RegistryState()
+        state.apply(rec("a", payload=live_ref))
+        removed = store.gc_payloads(state)
+        assert any("orphan" in r for r in removed)
+        assert os.path.exists(os.path.join(str(tmp_path), "payloads", "live.npy"))
+
+
+# ---------------------------------------------------------------- factories
+
+
+class TestOpenStore:
+    def test_memory_specs(self):
+        assert isinstance(open_store(None), MemoryStore)
+        assert isinstance(open_store(""), MemoryStore)
+        assert isinstance(open_store("memory"), MemoryStore)
+
+    def test_directory_spec(self, tmp_path):
+        store = open_store(str(tmp_path / "cat"))
+        assert isinstance(store, FileStore)
+        assert os.path.isdir(str(tmp_path / "cat"))
+        store.close()
+
+
+# --------------------------------------------------- registry-level recovery
+
+
+class TestRegistryRecovery:
+    def make_points(self, seed=7, n=60):
+        return np.random.default_rng(seed).normal(size=(n, 2))
+
+    def test_catalog_survives_reopen(self, tmp_path):
+        pts = self.make_points()
+        reg = DatasetRegistry(store=FileStore(str(tmp_path)))
+        reg.register("d1", pts, tenant="alice")
+        reg.configure_tenant("alice", weight=3.0, max_queue=5)
+        baseline = reg.get("d1").engine.dbscan(0.3, 5)
+        # No close(), no compact(): simulate losing the process.
+
+        reg2 = DatasetRegistry(store=FileStore(str(tmp_path)))
+        assert set(reg2.names()) == {"d1"}
+        entry = reg2.get("d1")
+        assert entry.tenant == "alice"
+        assert entry.engine.fingerprint == reg.get("d1").engine.fingerprint
+        assert reg2.tenant_config("alice").weight == 3.0
+        assert reg2.tenant_config("alice").max_queue == 5
+        replay = entry.engine.dbscan(0.3, 5)
+        np.testing.assert_array_equal(replay.labels, baseline.labels)
+        reg2.close()
+
+    def test_warm_hints_journal_and_rebuild(self, tmp_path):
+        pts = self.make_points()
+        reg = DatasetRegistry(store=FileStore(str(tmp_path)))
+        reg.register("d1", pts)
+        reg.note_warm_eps("d1", 0.4)
+        reg.note_warm_eps("d1", 0.4)  # duplicate: journaled once
+
+        reg2 = DatasetRegistry(store=FileStore(str(tmp_path)), warm_on_recover=True)
+        entry = reg2.get("d1")
+        assert entry.warm_eps == (0.4,)
+        # The grid for the hinted eps is already cached: clustering at it
+        # hits the structure cache instead of rebuilding.
+        before = entry.engine.cache.stats()["hits"]
+        entry.engine.dbscan(0.4, 5)
+        assert entry.engine.cache.stats()["hits"] > before
+        reg2.close()
+
+    def test_tampered_payload_quarantined_not_served(self, tmp_path):
+        pts = self.make_points()
+        reg = DatasetRegistry(store=FileStore(str(tmp_path)))
+        reg.register("d1", pts)
+        ref = reg.get("d1").payload
+        payload_path = tmp_path / "payloads" / ref
+        raw = np.load(str(payload_path))
+        raw[0, 0] += 1.0  # bit rot
+        np.save(str(payload_path), raw)
+
+        reg2 = DatasetRegistry(store=FileStore(str(tmp_path)))
+        assert "d1" not in reg2
+        assert any("fingerprint" in note or "quarantine" in note
+                   for note in reg2.recovered)
+        assert list((tmp_path / "quarantine").iterdir())
+        reg2.close()
+
+    def test_unregister_persists(self, tmp_path):
+        pts = self.make_points()
+        reg = DatasetRegistry(store=FileStore(str(tmp_path)))
+        reg.register("keep", pts)
+        reg.register("gone", pts * 2.0)
+        reg.unregister("gone")
+
+        reg2 = DatasetRegistry(store=FileStore(str(tmp_path)))
+        assert set(reg2.names()) == {"keep"}
+        reg2.close()
+
+    def test_csv_registration_recovers_without_reparse(self, tmp_path, caplog):
+        csv = tmp_path / "pts.csv"
+        good = self.make_points(n=30)
+        lines = [",".join(f"{v:.6f}" for v in row) for row in good]
+        lines.insert(3, "not,numeric")  # one bad row
+        csv.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+        store_dir = tmp_path / "store"
+        reg = DatasetRegistry(store=FileStore(str(store_dir)))
+        reg.register("csvset", path=str(csv), on_bad_rows="quarantine")
+        sidecars = [p for p in tmp_path.iterdir() if "quarantine" in p.name]
+        assert len(sidecars) == 1
+
+        # Recovery loads the *payload*, not the CSV: no second sidecar,
+        # identical points.
+        reg2 = DatasetRegistry(store=FileStore(str(store_dir)))
+        np.testing.assert_array_equal(
+            np.asarray(reg2.get("csvset").engine.points),
+            np.asarray(reg.get("csvset").engine.points),
+        )
+        sidecars = [p for p in tmp_path.iterdir() if "quarantine" in p.name]
+        assert len(sidecars) == 1
+        reg2.close()
+
+    def test_reregister_same_csv_no_new_sidecar(self, tmp_path):
+        csv = tmp_path / "pts.csv"
+        good = self.make_points(n=20)
+        lines = [",".join(f"{v:.6f}" for v in row) for row in good]
+        lines.append("ragged,row,extra,fields")
+        csv.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+        reg = DatasetRegistry()
+        reg.register("a", path=str(csv), on_bad_rows="quarantine")
+        reg.register("b", path=str(csv), on_bad_rows="quarantine")
+        sidecars = [p for p in tmp_path.iterdir() if "quarantine" in p.name]
+        assert len(sidecars) == 1
