@@ -80,11 +80,13 @@ def exact_grid_dbscan(
     cfg = with_transport(as_parallel_config(workers), shm=shm)
     guard = as_memory_budget(memory_budget_mb, memory)
     preunion = None if hooks is None else hooks.preunion
+    structures = None if hooks is None else hooks.structures
 
     def connect(grid, core_mask, dl, par):
         return parallel_exact_components(
             grid, core_mask, par, bcp_strategy,
             deadline=dl, memory=guard, preunion=preunion,
+            structures=structures,
         )
 
     return run_grid_pipeline(

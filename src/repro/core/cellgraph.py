@@ -16,6 +16,15 @@ The paper gives two edge rules:
 By Lemma 1, the connected components of ``G`` are exactly the clusters
 restricted to core points, so both builders return per-core-point component
 labels directly.
+
+Both builders resolve the edge phase through the staged, batched kernel of
+:mod:`repro.core.edgekernel` by default (``kernel="staged"``): vectorised
+quick-accept / quick-reject passes over dense cell ids settle most pairs
+without a per-pair decision, and only the survivors run BCP /
+:meth:`FlatHierarchy.any_contains`, cheapest-first with a spanning-forest
+early exit.  ``kernel="loop"`` keeps the classic per-pair loop — the
+reference implementation benchmarks and differential tests compare
+against.  Both kernels produce byte-identical labels.
 """
 
 from __future__ import annotations
@@ -27,13 +36,14 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.runtime.deadline import Deadline
 
+from repro.core.edgekernel import apply_preunion_dense, cell_arrays, resolve_edges
 from repro.errors import ParameterError
 from repro.geometry import distance as dm
 from repro.geometry.bcp import bcp_within
 from repro.grid.cells import CellCoord, Grid
 from repro.grid.hierarchy import FlatHierarchy
 from repro.index.kdtree import KDTree
-from repro.utils.unionfind import KeyedUnionFind
+from repro.utils.unionfind import DenseUnionFind, KeyedUnionFind
 
 
 def core_cells(grid: Grid, core_mask: np.ndarray) -> Dict[CellCoord, np.ndarray]:
@@ -50,6 +60,7 @@ def exact_edge_predicate(
     grid: Grid,
     cells: Dict[CellCoord, np.ndarray],
     bcp_strategy: str = "auto",
+    structures: Optional[Dict[CellCoord, object]] = None,
 ):
     """Build the exact edge test ``edge(c1, c2) -> bool`` over core cells.
 
@@ -58,12 +69,22 @@ def exact_edge_predicate(
     true edges, evaluated in any order by any process, yields the same
     connected components.  Per-cell search structures (kd-trees, Voronoi
     diagrams) are cached inside the closure and reused across calls.
+
+    ``structures`` optionally seeds that per-cell cache — the same seam
+    :func:`approx_edge_predicate` offers for Lemma 5 structures, used by
+    the clustering engine's :class:`StructureCache` so warm service
+    requests stop rebuilding trees.  The dict is updated in place with any
+    structures built lazily, letting the caller harvest them afterwards.
+    It is ignored by the pairwise ``bcp_strategy`` modes, which keep no
+    per-cell state.
     """
     points = grid.points
     if bcp_strategy == "kdtree":
         # Gunawan-style: one search structure per core cell, reused across
         # all of the cell's pairs (instead of a fresh BCP per pair).
-        trees: Dict[CellCoord, KDTree] = {}
+        trees: Dict[CellCoord, KDTree] = (
+            {} if structures is None else structures  # type: ignore[assignment]
+        )
         sq_eps = dm.sq_radius(grid.eps)
 
         def edge(c1: CellCoord, c2: CellCoord) -> bool:
@@ -85,7 +106,9 @@ def exact_edge_predicate(
 
         if grid.dim != 2:
             raise ParameterError("the voronoi edge strategy requires 2-D points")
-        diagrams: Dict[CellCoord, VoronoiNN] = {}
+        diagrams: Dict[CellCoord, VoronoiNN] = (
+            {} if structures is None else structures  # type: ignore[assignment]
+        )
 
         def edge(c1: CellCoord, c2: CellCoord) -> bool:
             if len(cells[c1]) > len(cells[c2]):
@@ -198,6 +221,55 @@ def candidate_cell_pairs(
         yield keys[i], keys[j]
 
 
+def _staged_components(
+    grid: Grid,
+    cells: Dict[CellCoord, np.ndarray],
+    edge,
+    *,
+    reject_eps: Optional[float] = None,
+    deadline: Optional["Deadline"] = None,
+    preunion: Optional[List[Tuple[CellCoord, CellCoord]]] = None,
+) -> Tuple[np.ndarray, int]:
+    """Run the staged edge kernel over ``cells`` and scatter labels.
+
+    The shared back half of :func:`exact_components` /
+    :func:`approx_components` under ``kernel="staged"``: dense per-cell
+    arrays, a :class:`DenseUnionFind` seeded with the pre-union carry, one
+    :func:`resolve_edges` pass over all candidate pairs, and a single
+    vectorised label scatter.  Labels are byte-identical to the per-pair
+    loop (see :mod:`repro.core.edgekernel`).
+    """
+    arrays = cell_arrays(grid.points, cells)
+    uf = DenseUnionFind(len(arrays))
+    apply_preunion_dense(uf, arrays.index, preunion)
+    keys, ii, jj = grid.neighbor_cell_pair_arrays(subset=cells.keys())
+    if keys != arrays.keys:  # pragma: no cover - orders coincide in practice
+        remap = np.fromiter(
+            (arrays.index[c] for c in keys), dtype=np.int64, count=len(keys)
+        )
+        ii, jj = remap[ii], remap[jj]
+    resolve_edges(
+        grid.points,
+        grid.eps,
+        arrays,
+        ii,
+        jj,
+        uf,
+        edge,
+        reject_eps=reject_eps,
+        deadline=deadline,
+    )
+    labels = np.full(len(grid.points), -1, dtype=np.int64)
+    if len(arrays):
+        labels[arrays.cat] = np.repeat(uf.component_labels(), arrays.sizes)
+    return labels, uf.n_components
+
+
+def _validate_kernel(kernel: str) -> None:
+    if kernel not in ("staged", "loop"):
+        raise ParameterError(f"unknown edge kernel {kernel!r}; use 'staged' or 'loop'")
+
+
 def exact_components(
     grid: Grid,
     core_mask: np.ndarray,
@@ -205,21 +277,31 @@ def exact_components(
     *,
     deadline: Optional["Deadline"] = None,
     preunion: Optional[List[Tuple[CellCoord, CellCoord]]] = None,
+    structures: Optional[Dict[CellCoord, object]] = None,
+    kernel: str = "staged",
 ) -> Tuple[np.ndarray, int]:
     """Connected components of the exact graph ``G``.
 
     Returns ``(labels, k)``: a dense component id per point (valid only at
     core positions; ``-1`` elsewhere) and the number of components ``k``.
-    ``deadline`` is polled once per candidate cell pair — i.e. before each
-    BCP computation, the dominant cost of the phase.  ``preunion``
-    optionally seeds the union-find with known-true edges (see
-    :func:`apply_preunion`); seeded pairs short-circuit their BCP tests
-    without changing the result.
+    ``deadline`` is polled before each per-pair BCP computation, the
+    dominant cost of the phase.  ``preunion`` optionally seeds the
+    union-find with known-true edges (see :func:`apply_preunion`); seeded
+    pairs short-circuit their BCP tests without changing the result.
+    ``structures`` seeds the per-cell search-structure cache
+    (:func:`exact_edge_predicate`).  ``kernel`` selects the staged batched
+    kernel (default) or the reference per-pair loop; both produce
+    byte-identical labels.
     """
+    _validate_kernel(kernel)
     cells = core_cells(grid, core_mask)
+    edge = exact_edge_predicate(grid, cells, bcp_strategy, structures=structures)
+    if kernel == "staged":
+        return _staged_components(
+            grid, cells, edge, deadline=deadline, preunion=preunion
+        )
     uf = KeyedUnionFind(cells.keys())
     apply_preunion(uf, preunion)
-    edge = exact_edge_predicate(grid, cells, bcp_strategy)
     for c1, c2 in candidate_cell_pairs(grid, cells, uf, seeded=bool(preunion)):
         if deadline is not None:
             deadline.tick()
@@ -239,6 +321,7 @@ def approx_components(
     deadline: Optional["Deadline"] = None,
     preunion: Optional[List[Tuple[CellCoord, CellCoord]]] = None,
     structures: Optional[Dict[CellCoord, FlatHierarchy]] = None,
+    kernel: str = "staged",
 ) -> Tuple[np.ndarray, int]:
     """Connected components of the rho-approximate graph ``G``.
 
@@ -250,24 +333,39 @@ def approx_components(
     ``preunion`` seeds known-true edges (:func:`apply_preunion`);
     ``structures`` seeds the per-cell Lemma 5 structure map — cells already
     present are not rebuilt, and the map is updated in place so a caller
-    (the clustering engine) can keep it warm across runs.
+    (the clustering engine) can keep it warm across runs.  ``kernel``
+    selects the staged batched kernel (default) or the reference per-pair
+    loop; both produce byte-identical labels.  The staged kernel builds
+    Lemma 5 structures *lazily* — only for cells that actually reach a
+    per-pair probe — so cells settled entirely by the vectorised stages
+    never pay for a structure build.
     """
+    _validate_kernel(kernel)
     cells = core_cells(grid, core_mask)
-    uf = KeyedUnionFind(cells.keys())
-    apply_preunion(uf, preunion)
     points = grid.points
     kwargs = {} if exact_leaf_size is None else {"exact_leaf_size": exact_leaf_size}
     if structures is None:
         structures = {}
+    edge = approx_edge_predicate(
+        grid, cells, rho, exact_leaf_size, structures=structures, deadline=deadline
+    )
+    if kernel == "staged":
+        return _staged_components(
+            grid,
+            cells,
+            edge,
+            reject_eps=grid.eps * (1.0 + rho),
+            deadline=deadline,
+            preunion=preunion,
+        )
+    uf = KeyedUnionFind(cells.keys())
+    apply_preunion(uf, preunion)
     for cell, idx in cells.items():
         if cell in structures:
             continue
         if deadline is not None:
             deadline.tick()
         structures[cell] = FlatHierarchy(points[idx], grid.eps, rho, **kwargs)
-    edge = approx_edge_predicate(
-        grid, cells, rho, exact_leaf_size, structures=structures, deadline=deadline
-    )
     for c1, c2 in candidate_cell_pairs(grid, cells, uf, seeded=bool(preunion)):
         if deadline is not None:
             deadline.tick()
@@ -278,15 +376,49 @@ def approx_components(
     return _labels_from_components(grid, cells, uf)
 
 
+def labels_from_dense(
+    grid: Grid,
+    cells: Dict[CellCoord, np.ndarray],
+    uf: DenseUnionFind,
+) -> Tuple[np.ndarray, int]:
+    """Per-point labels from a dense forest over ``cells`` in id order.
+
+    ``uf``'s element ``t`` must be the ``t``-th cell of ``cells`` in
+    insertion order — then the labels (first appearance in id order) are
+    byte-identical to the keyed path's (first appearance in key insertion
+    order).  Used by the parallel stitching pass.
+    """
+    labels = np.full(len(grid.points), -1, dtype=np.int64)
+    if cells:
+        cell_label = uf.component_labels()
+        sizes = np.fromiter(
+            (len(idx) for idx in cells.values()), dtype=np.int64, count=len(cells)
+        )
+        labels[np.concatenate(list(cells.values()))] = np.repeat(cell_label, sizes)
+    return labels, uf.n_components
+
+
 def _labels_from_components(
     grid: Grid,
     cells: Dict[CellCoord, np.ndarray],
     uf: KeyedUnionFind,
 ) -> Tuple[np.ndarray, int]:
-    cell_label = uf.component_labels()
+    """Scatter per-cell component labels onto the point array, vectorised.
+
+    One ``np.repeat`` + fancy-index assignment instead of a Python loop
+    over cells — the keyed twin of the dense scatter in
+    :func:`_staged_components`.
+    """
     labels = np.full(len(grid.points), -1, dtype=np.int64)
-    for cell, idx in cells.items():
-        labels[idx] = cell_label[cell]
+    if cells:
+        cell_label = uf.component_labels()
+        per_cell = np.fromiter(
+            (cell_label[c] for c in cells), dtype=np.int64, count=len(cells)
+        )
+        sizes = np.fromiter(
+            (len(idx) for idx in cells.values()), dtype=np.int64, count=len(cells)
+        )
+        labels[np.concatenate(list(cells.values()))] = np.repeat(per_cell, sizes)
     return labels, uf.n_components
 
 

@@ -343,6 +343,22 @@ class ClusteringEngine:
         )
         structures_key = None
         fresh_structures = False
+        if algorithm != "approx":
+            # The exact edge predicates keep per-cell search structures
+            # (kd-trees / Voronoi diagrams) for the strategies that build
+            # them — cache those exactly like the Lemma 5 structures, so
+            # warm service requests stop rebuilding trees.  The pairwise
+            # BCP modes keep no per-cell state; nothing to cache there.
+            strategy = bcp_strategy
+            if algorithm == "gunawan2d" and strategy == "auto":
+                strategy = "kdtree"
+            if strategy in ("kdtree", "voronoi"):
+                structures_key = self._key(
+                    "exact_structures", eps, min_pts, strategy
+                )
+                structures = self.cache.get(structures_key)
+                fresh_structures = structures is None
+                hooks.structures = {} if fresh_structures else structures
         if algorithm == "approx":
             structures_key = self._key(
                 "structures", eps, min_pts, float(rho), exact_leaf_size

@@ -11,9 +11,11 @@ core-cell graph connectivity, border assignment) fan out over a
   (each evaluated under a worker-local union-find, i.e. a per-shard
   forest) and cross-shard *boundary* chunks; every task returns the pairs
   it actually united, and the parent stitches all of them into one global
-  :class:`~repro.utils.unionfind.KeyedUnionFind` built over the core
-  cells in the same insertion order the serial path uses — which makes
-  the final component labels *identical*, not merely isomorphic.
+  :class:`~repro.utils.unionfind.DenseUnionFind` over dense cell ids in
+  the same insertion order the serial path uses — which makes
+  the final component labels *identical*, not merely isomorphic.  Inside
+  each chunk the workers run the same staged edge kernel
+  (:mod:`repro.core.edgekernel`) the serial builders use.
 
 Every phase falls back to the serial implementation when the resolved
 worker count is 1, the input is below :attr:`ParallelConfig.min_points`,
@@ -58,12 +60,12 @@ import numpy as np
 from repro import config
 from repro.core.border import assign_borders
 from repro.core.cellgraph import (
-    _labels_from_components,
-    apply_preunion,
     approx_components,
     core_cells,
     exact_components,
+    labels_from_dense,
 )
+from repro.core.edgekernel import apply_preunion_dense
 from repro.core.labeling import label_cores
 from repro.errors import MemoryBudgetExceeded, ParameterError, WorkerPoolError
 from repro.grid.cells import Grid
@@ -75,7 +77,7 @@ from repro.runtime import faultinject
 from repro.runtime.deadline import Deadline
 from repro.runtime.memory import MemoryBudget
 from repro.utils.log import get_logger
-from repro.utils.unionfind import KeyedUnionFind
+from repro.utils.unionfind import DenseUnionFind
 
 _log = get_logger("parallel.executor")
 
@@ -653,19 +655,28 @@ def parallel_exact_components(
     deadline: Optional[Deadline] = None,
     memory: Optional[MemoryBudget] = None,
     preunion=None,
+    structures=None,
 ) -> Tuple[np.ndarray, int]:
     """Phase-3 exact connectivity: per-shard forests + boundary stitching.
 
     ``preunion`` seeds known same-component cell pairs
     (:func:`repro.core.cellgraph.apply_preunion`) into both the parent's
     stitching forest and every worker's chunk-local forest, so seeded
-    connectivity short-circuits BCP tests everywhere.
+    connectivity short-circuits BCP tests everywhere.  ``structures``
+    seeds the per-cell search-structure cache of
+    :func:`repro.core.cellgraph.exact_edge_predicate` (kd-trees / Voronoi
+    diagrams) — the engine's warm-cache seam, mirroring the Lemma 5
+    ``structures`` of :func:`parallel_approx_components`.
     """
     return _parallel_components(
         grid,
         core_mask,
         cfg,
-        {"edge_rule": "exact", "bcp_strategy": bcp_strategy},
+        {
+            "edge_rule": "exact",
+            "bcp_strategy": bcp_strategy,
+            "structures": structures,
+        },
         deadline=deadline,
         memory=memory,
         preunion=preunion,
@@ -727,6 +738,7 @@ def _parallel_components(
                 edge_payload["bcp_strategy"],
                 deadline=deadline,
                 preunion=preunion,
+                structures=edge_payload.get("structures"),
             )
         return approx_components(
             grid,
@@ -740,18 +752,22 @@ def _parallel_components(
     _check_guards(deadline, memory, "components")
     parallel_warm_neighbors(grid, cfg, deadline=deadline, memory=memory)
 
+    # The whole phase runs on dense cell ids (positions in the core-cell
+    # insertion order) — the same ids the staged kernel uses inside the
+    # workers' chunks.
+    index = {c: t for t, c in enumerate(cells)}
+
     # Pairs already connected by the pre-union seed never need an edge
     # test anywhere — drop them before sharding so neither the payload nor
     # any worker carries them (see cellgraph.candidate_cell_pairs).
     keys, ii, jj = grid.neighbor_cell_pair_arrays(subset=cells.keys())
     if deadline is not None:
         deadline.tick()
+    key_id = np.fromiter((index[c] for c in keys), dtype=np.int64, count=len(keys))
     if preunion and len(ii):
-        seed_forest = KeyedUnionFind(cells.keys())
-        apply_preunion(seed_forest, preunion)
-        seed_root = np.fromiter(
-            (seed_forest.find(c) for c in keys), dtype=np.int64, count=len(keys)
-        )
+        seed_forest = DenseUnionFind(len(index))
+        apply_preunion_dense(seed_forest, index, preunion)
+        seed_root = seed_forest.roots()[key_id]
         keep = seed_root[ii] != seed_root[jj]
         ii, jj = ii[keep], jj[keep]
     weights = {c: len(idx) for c, idx in cells.items()}
@@ -763,11 +779,11 @@ def _parallel_components(
     if preunion:
         payload["preunion"] = list(preunion)
 
-    # The stitching pass: one forest over *all* core cells, registered in
-    # the same order the serial path uses, so component labels (assigned
-    # by first appearance) come out identical.
-    uf = KeyedUnionFind(cells.keys())
-    apply_preunion(uf, preunion)
+    # The stitching pass: one forest over *all* core cells, in the same
+    # insertion order the serial path uses, so component labels (assigned
+    # by first appearance in id order) come out identical.
+    uf = DenseUnionFind(len(index))
+    apply_preunion_dense(uf, index, preunion)
 
     session = None
     if cfg.shm and cfg.backend == "process":
@@ -838,7 +854,7 @@ def _parallel_components(
 
         def consume(united) -> None:
             for c1, c2 in united:
-                uf.union(c1, c2)
+                uf.union(index[c1], index[c2])
 
     try:
         if tasks:
@@ -850,12 +866,14 @@ def _parallel_components(
             edge_i = session.out("edge_i")
             edge_j = session.out("edge_j")
             hit = np.nonzero(edge_i >= 0)[0]
-            for a, b in zip(edge_i[hit].tolist(), edge_j[hit].tolist()):
-                uf.union(keys[a], keys[b])
+            for a, b in zip(
+                key_id[edge_i[hit]].tolist(), key_id[edge_j[hit]].tolist()
+            ):
+                uf.union(a, b)
     finally:
         if session is not None:
             session.close()
-    return _labels_from_components(grid, cells, uf)
+    return labels_from_dense(grid, cells, uf)
 
 
 def parallel_assign_borders(

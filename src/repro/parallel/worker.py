@@ -41,11 +41,12 @@ from repro.core.cellgraph import (
     core_cells,
     exact_edge_predicate,
 )
+from repro.core.edgekernel import apply_preunion_dense, cell_arrays, resolve_edges
 from repro.core.labeling import label_cores
 from repro.grid.cells import CellCoord, Grid
 from repro.runtime.deadline import Deadline
 from repro.runtime.memory import MemoryBudget
-from repro.utils.unionfind import KeyedUnionFind
+from repro.utils.unionfind import DenseUnionFind
 
 Pair = Tuple[CellCoord, CellCoord]
 
@@ -138,7 +139,14 @@ def build_context(payload: Dict[str, object], *, in_worker: bool = True) -> Dict
         ]
     edge_rule = payload.get("edge_rule")
     if edge_rule == "exact":
-        ctx["edge"] = exact_edge_predicate(grid, ctx["cells"], payload["bcp_strategy"])
+        structures = payload.get("structures")
+        ctx["edge"] = exact_edge_predicate(
+            grid,
+            ctx["cells"],
+            payload["bcp_strategy"],
+            structures=dict(structures) if structures else None,
+        )
+        ctx["reject_eps"] = None
     elif edge_rule == "approx":
         structures = payload.get("structures")
         ctx["edge"] = approx_edge_predicate(
@@ -149,6 +157,7 @@ def build_context(payload: Dict[str, object], *, in_worker: bool = True) -> Dict
             structures=dict(structures) if structures else None,
             deadline=ctx["deadline"],
         )
+        ctx["reject_eps"] = grid.eps * (1.0 + float(payload["rho"]))
     return ctx
 
 
@@ -226,14 +235,29 @@ def cores_task(cell_block) -> object:
     return idx, mask[idx]
 
 
-def edges_task(pairs) -> object:
-    """Evaluate a chunk of oriented candidate pairs; return the unions made.
+def _edge_arrays(ctx: Dict[str, object]):
+    """Per-phase dense cell arrays for the staged kernel (built once)."""
+    arrays = ctx.get("_edge_arrays")
+    if arrays is None:
+        arrays = ctx["_edge_arrays"] = cell_arrays(
+            ctx["grid"].points, ctx["cells"]
+        )
+    return arrays
 
-    A chunk-local union-find short-circuits the edge test for pairs its
-    own emitted edges already connect (for an intra-shard chunk this is
-    the full serial short-circuit).  The emitted subset spans the same
-    connectivity as the chunk's true edge set, so the parent's stitching
-    pass reconstructs the global components exactly.
+
+def edges_task(pairs) -> object:
+    """Resolve a chunk of oriented candidate pairs; return the unions made.
+
+    The chunk runs the staged edge kernel
+    (:func:`repro.core.edgekernel.resolve_edges`) against a chunk-local
+    forest: vectorised quick-accept/quick-reject passes settle most pairs,
+    survivors run the per-pair predicate cheapest-first, and the
+    chunk-local connectivity short-circuits redundant tests (for an
+    intra-shard chunk this is the full serial short-circuit).  Only the
+    unions that *merged* two chunk-local components are emitted — that
+    subset spans the same connectivity as the chunk's true edge set, so
+    the parent's stitching pass reconstructs the global components
+    exactly.
 
     A monotone-sweep ``preunion`` seed (when present) is folded into the
     chunk-local forest too: pairs its connectivity already covers skip
@@ -243,52 +267,45 @@ def edges_task(pairs) -> object:
     Shared-memory transport: the item is a ``(SHM_RANGE, start, stop)``
     range of the parent's task-ordered ``pair_i``/``pair_j`` index arrays
     (indices into the core-cell key order), and every union made is
-    recorded at its own position ``t`` of the ``edge_i``/``edge_j`` slabs
-    (``-1`` means "no union") — position-stable, so retries rewrite the
-    same slots and a partially written shard is indistinguishable from a
-    partially evaluated one.
+    recorded at the position ``t`` of the pair that caused it in the
+    ``edge_i``/``edge_j`` slabs (``-1`` means "no union") —
+    position-stable and deterministic (a fresh chunk-local forest makes
+    the kernel's schedule a pure function of the chunk), so retries
+    rewrite the same slots and a partially written shard is
+    indistinguishable from a partially evaluated one.
     """
     ctx = _ctx()
     deadline, memory, phase = _guards()
     edge = ctx["edge"]
-    uf = KeyedUnionFind()
-    for c1, c2 in ctx.get("preunion") or ():
-        uf.union(c1, c2)
+    arrays = _edge_arrays(ctx)
+    uf = DenseUnionFind(len(arrays))
+    apply_preunion_dense(uf, arrays.index, ctx.get("preunion"))
+    grid: Grid = ctx["grid"]
     if _is_range(pairs):
         start, stop = int(pairs[1]), int(pairs[2])
-        keys = ctx.get("_core_keys")
-        if keys is None:
-            keys = list(ctx["cells"].keys())
-            ctx["_core_keys"] = keys
-        pair_i = ctx["shm_in"]["pair_i"]
-        pair_j = ctx["shm_in"]["pair_j"]
+        ii = np.asarray(ctx["shm_in"]["pair_i"][start:stop], dtype=np.int64)
+        jj = np.asarray(ctx["shm_in"]["pair_j"][start:stop], dtype=np.int64)
         out_i = ctx["shm_out"]["edge_i"]
         out_j = ctx["shm_out"]["edge_j"]
-        united = 0
-        for t in range(start, stop):
-            a, b = int(pair_i[t]), int(pair_j[t])
-            c1, c2 = keys[a], keys[b]
-            if deadline is not None:
-                deadline.tick()
-            if uf.connected(c1, c2):
-                continue
-            if edge(c1, c2):
-                uf.union(c1, c2)
-                out_i[t] = a
-                out_j[t] = b
-                united += 1
+        unions = resolve_edges(
+            grid.points, grid.eps, arrays, ii, jj, uf, edge,
+            reject_eps=ctx.get("reject_eps"), deadline=deadline,
+        )
+        for t, a, b in unions:
+            out_i[start + t] = a
+            out_j[start + t] = b
         if memory is not None:
             memory.check(phase)
-        return united
-    out: List[Pair] = []
-    for c1, c2 in pairs:
-        if deadline is not None:
-            deadline.tick()
-        if uf.connected(c1, c2):
-            continue
-        if edge(c1, c2):
-            uf.union(c1, c2)
-            out.append((c1, c2))
+        return len(unions)
+    index = arrays.index
+    ii = np.fromiter((index[c1] for c1, _ in pairs), dtype=np.int64, count=len(pairs))
+    jj = np.fromiter((index[c2] for _, c2 in pairs), dtype=np.int64, count=len(pairs))
+    unions = resolve_edges(
+        grid.points, grid.eps, arrays, ii, jj, uf, edge,
+        reject_eps=ctx.get("reject_eps"), deadline=deadline,
+    )
+    keys = arrays.keys
+    out: List[Pair] = [(keys[a], keys[b]) for _, a, b in unions]
     if memory is not None:
         memory.check(phase)
     return out

@@ -87,8 +87,11 @@ class PipelineHooks:
         The pipeline only carries this — the algorithm's connect closure
         consumes it.
     structures:
-        Warm per-cell Lemma 5 structures for the approximate connect
-        closure; carried like ``preunion``.
+        Warm per-cell search structures for the connect closure — Lemma 5
+        hierarchies for the approximate rule, kd-trees / Voronoi diagrams
+        for the exact ``kdtree``/``voronoi`` strategies; carried like
+        ``preunion`` and updated in place with lazily built entries so the
+        engine can harvest them.
     on_phase:
         Callback ``(phase_name, value)`` fired after each phase completes
         with the phase's product (``grid``, ``core_mask``,

@@ -189,7 +189,7 @@ class TestSegmentLifecycle:
         def interrupted(*args, **kwargs):
             raise KeyboardInterrupt
 
-        monkeypatch.setattr(executor, "_labels_from_components", interrupted)
+        monkeypatch.setattr(executor, "labels_from_dense", interrupted)
         with pytest.raises(KeyboardInterrupt):
             dbscan(points, EPS, MIN_PTS, workers=cfg())
         assert_no_leaks("KeyboardInterrupt")

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.utils.unionfind import KeyedUnionFind, UnionFind
+from repro.utils.unionfind import DenseUnionFind, KeyedUnionFind, UnionFind
 
 
 class TestUnionFind:
@@ -67,6 +67,16 @@ class TestUnionFind:
         assert all(uf.find(i) == root for i in range(100))
         assert uf.n_components == 1
 
+    def test_add_appends_singletons(self):
+        uf = UnionFind(2)
+        assert uf.add() == 2
+        assert uf.add() == 3
+        assert len(uf) == 4
+        assert uf.n_components == 4
+        uf.union(1, 3)
+        assert uf.connected(1, 3)
+        assert not uf.connected(2, 3)
+
 
 class TestKeyedUnionFind:
     def test_add_and_contains(self):
@@ -105,6 +115,81 @@ class TestKeyedUnionFind:
         assert labels["a"] == labels["c"]
         # First-appearance ordering: "a" (and "c") get 0, "b" gets 1, "d" 2.
         assert labels["a"] == 0 and labels["b"] == 1 and labels["d"] == 2
+
+
+class TestDenseUnionFind:
+    def test_basic_semantics_match_unionfind(self):
+        uf = DenseUnionFind(5)
+        assert uf.n_components == 5
+        assert uf.union(0, 1)
+        assert not uf.union(1, 0)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+        assert not uf.connected(0, 3)
+        assert uf.n_components == 3
+
+    def test_union_many_returns_spanning_mask(self):
+        uf = DenseUnionFind(4)
+        xs = np.array([0, 1, 0, 2], dtype=np.int64)
+        ys = np.array([1, 2, 2, 3], dtype=np.int64)
+        merged = uf.union_many(xs, ys)
+        # Third pair (0,2) is redundant after the first two unions.
+        assert merged.tolist() == [True, True, False, True]
+        assert uf.n_components == 1
+
+    def test_union_many_length_mismatch(self):
+        with pytest.raises(ValueError):
+            DenseUnionFind(3).union_many(np.array([0]), np.array([1, 2]))
+
+    def test_roots_vectorised_matches_scalar_find(self):
+        uf = DenseUnionFind(50)
+        rng = np.random.default_rng(3)
+        for a, b in rng.integers(0, 50, size=(40, 2)).tolist():
+            uf.union(a, b)
+        roots = uf.roots()
+        assert roots.tolist() == [uf.find(i) for i in range(50)]
+        # roots() writes the compressed forest back.
+        assert all(roots[i] == roots[roots[i]] for i in range(50))
+
+    def test_component_labels_match_keyed(self):
+        rng = np.random.default_rng(11)
+        dense = DenseUnionFind(30)
+        keyed = KeyedUnionFind(range(30))
+        for a, b in rng.integers(0, 30, size=(25, 2)).tolist():
+            dense.union(a, b)
+            keyed.union(a, b)
+        keyed_labels = keyed.component_labels()
+        assert dense.component_labels().tolist() == [
+            keyed_labels[i] for i in range(30)
+        ]
+        assert dense.n_components == keyed.n_components
+
+    def test_empty(self):
+        uf = DenseUnionFind(0)
+        assert uf.n_components == 0
+        assert len(uf.roots()) == 0
+        assert len(uf.component_labels()) == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            DenseUnionFind(-2)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(1, 40),
+    unions=st.lists(st.tuples(st.integers(0, 39), st.integers(0, 39)), max_size=60),
+)
+def test_property_dense_matches_keyed(n, unions):
+    """DenseUnionFind must agree with KeyedUnionFind on any union sequence."""
+    dense = DenseUnionFind(n)
+    keyed = KeyedUnionFind(range(n))
+    for a, b in unions:
+        if a < n and b < n:
+            assert dense.union(a, b) == keyed.union(a, b)
+    assert dense.n_components == keyed.n_components
+    keyed_labels = keyed.component_labels()
+    assert dense.component_labels().tolist() == [keyed_labels[i] for i in range(n)]
 
 
 @settings(max_examples=60, deadline=None)

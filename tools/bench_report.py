@@ -1,0 +1,110 @@
+"""Merge every ``BENCH_*.json`` into a single benchmark-trajectory table.
+
+Each benchmark module (``benchmarks/bench_*.py --json BENCH_x.json``)
+records its own headline numbers with its own schema.  This tool collects
+whatever ``BENCH_*.json`` files exist, extracts the common spine (config
+name, instance size, every ``*_speedup`` / ``*_per_second`` metric, and
+any correctness flags) and renders one markdown table so a whole CI run —
+or a whole sequence of PRs — can be read as a single perf trajectory.
+
+Usage::
+
+    python tools/bench_report.py                 # scan the repo root
+    python tools/bench_report.py --dir artifacts # scan a directory
+    python tools/bench_report.py --out REPORT.md # also write markdown
+    python tools/bench_report.py --json merged.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+#: Boolean result keys that assert correctness rode along with the timing.
+_CHECK_KEYS = ("byte_identical", "sandwich_checked")
+
+
+def load_reports(directory):
+    """``{benchmark name: parsed JSON}`` for every BENCH_*.json found."""
+    reports = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        name = os.path.basename(path)[len("BENCH_"):-len(".json")]
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                reports[name] = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"warning: skipping {path}: {exc}", file=sys.stderr)
+    return reports
+
+
+def _metrics(stats):
+    """The headline perf metrics of one report, in key order."""
+    out = {}
+    for key, value in stats.items():
+        if key.endswith("_speedup") and isinstance(value, (int, float)):
+            out[key] = f"{value:.2f}x"
+        elif key.endswith("_per_second") and isinstance(value, (int, float)):
+            out[key] = f"{value:,.0f}/s"
+    return out
+
+
+def _checks(stats):
+    flags = [k for k in _CHECK_KEYS if stats.get(k) is True]
+    return ", ".join(flags) if flags else "-"
+
+
+def render_table(reports):
+    """Markdown trajectory table over all collected reports."""
+    rows = [("benchmark", "config", "n", "d", "headline metrics", "checks")]
+    for name, stats in reports.items():
+        metrics = _metrics(stats) or {"(no speedup metrics)": ""}
+        rows.append((
+            name,
+            str(stats.get("config", "-")),
+            str(stats.get("n", "-")),
+            str(stats.get("d", "-")),
+            ", ".join(f"{k} {v}".strip() for k, v in metrics.items()),
+            _checks(stats),
+        ))
+    widths = [max(len(r[c]) for r in rows) for c in range(len(rows[0]))]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append("| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |")
+        if i == 0:
+            lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dir", default=".", metavar="PATH",
+                        help="directory to scan for BENCH_*.json (default: .)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="also write the markdown table to PATH")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the merged reports to PATH as one JSON object")
+    args = parser.parse_args(argv)
+
+    reports = load_reports(args.dir)
+    if not reports:
+        print(f"no BENCH_*.json files found under {args.dir!r}", file=sys.stderr)
+        return 1
+
+    table = render_table(reports)
+    print(table)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write("# Benchmark trajectory\n\n" + table + "\n")
+        print(f"wrote {args.out}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(reports, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
