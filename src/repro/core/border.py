@@ -31,18 +31,36 @@ def assign_borders(
     *,
     deadline: Optional["Deadline"] = None,
     cells=None,
+    kernel: str = "staged",
 ) -> Dict[int, Tuple[int, ...]]:
     """Map each border point to the sorted tuple of cluster ids it joins.
 
     ``core_labels`` holds a dense component id for every core point.
     Points with no core point within ``eps`` are simply absent from the
-    returned mapping (they are noise).  ``deadline`` is polled per cell.
+    returned mapping (they are noise).  ``deadline`` is polled per cell
+    (loop kernel) or per batched tile (staged kernel).
 
     ``cells`` optionally restricts the pass to an iterable of cell
     coordinates; the decision for each non-core point only reads its own
     cell's eps-neighbourhood, so shard passes over a partition of the grid
     merge (by plain dict union) into the full assignment.
+
+    ``kernel`` selects the staged batched implementation
+    (:func:`repro.core.corekernel.assign_borders_staged`, the default) or
+    the per-cell reference loop (``"loop"``).  The staged kernel returns a
+    CSR-backed read-only mapping
+    (:class:`repro.core.corekernel.BorderAssignments`) that compares equal
+    to — and is consumed exactly like — the loop's plain dict.
     """
+    from repro.core.labeling import _validate_kernel
+
+    _validate_kernel(kernel)
+    if kernel == "staged":
+        from repro.core.corekernel import assign_borders_staged
+
+        return assign_borders_staged(
+            grid, core_mask, core_labels, deadline=deadline, cells=cells
+        )
     points = grid.points
     sq_eps = dm.sq_radius(grid.eps)
     out: Dict[int, Tuple[int, ...]] = {}

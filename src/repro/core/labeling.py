@@ -17,12 +17,19 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
-from repro.errors import AlgorithmError
+from repro.errors import AlgorithmError, ParameterError
 from repro.geometry import distance as dm
 from repro.grid.cells import Grid
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.runtime.deadline import Deadline
+
+
+def _validate_kernel(kernel: str) -> None:
+    if kernel not in ("staged", "loop"):
+        raise ParameterError(
+            f"unknown core kernel {kernel!r}; use 'staged' or 'loop'"
+        )
 
 
 def label_cores(
@@ -32,12 +39,13 @@ def label_cores(
     deadline: Optional["Deadline"] = None,
     cells=None,
     known_core: Optional[np.ndarray] = None,
+    kernel: str = "staged",
 ) -> np.ndarray:
     """Boolean core mask for every point of ``grid.points``.
 
-    ``deadline`` (if given) is polled once per cell, so a labeling pass
-    over a huge grid aborts promptly with
-    :class:`~repro.errors.TimeoutExceeded`.
+    ``deadline`` (if given) is polled once per cell (loop kernel) or once
+    per batched tile (staged kernel), so a labeling pass over a huge grid
+    aborts promptly with :class:`~repro.errors.TimeoutExceeded`.
 
     ``cells`` optionally restricts the pass to an iterable of cell
     coordinates (a *shard*); positions outside those cells stay ``False``.
@@ -51,11 +59,23 @@ def label_cores(
     Theorem's Theorem 3 ingredient).  Known points skip the counting pass;
     a cell whose points are all known skips its neighbour scan entirely.
     The returned mask is identical to a run without the hint.
+
+    ``kernel`` selects the staged batched implementation
+    (:func:`repro.core.corekernel.label_cores_staged`, the default) or the
+    per-cell reference loop (``"loop"``); both produce byte-identical
+    masks.
     """
     if grid.side > grid.eps / np.sqrt(grid.dim) * (1.0 + 1e-9):
         raise AlgorithmError(
             "core labeling requires cell side <= eps/sqrt(d) so that same-cell "
             f"points are within eps (side={grid.side}, eps={grid.eps}, d={grid.dim})"
+        )
+    _validate_kernel(kernel)
+    if kernel == "staged":
+        from repro.core.corekernel import label_cores_staged
+
+        return label_cores_staged(
+            grid, min_pts, deadline=deadline, cells=cells, known_core=known_core
         )
     points = grid.points
     sq_eps = dm.sq_radius(grid.eps)
